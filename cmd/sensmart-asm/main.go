@@ -1,0 +1,69 @@
+// Command sensmart-asm assembles AVR source into a SenSmart program image
+// (the compiler stage of the paper's Figure 1).
+//
+// Usage:
+//
+//	sensmart-asm [-o prog.json] [-list] [-sym] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/avr/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sensmart-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sensmart-asm", flag.ContinueOnError)
+	out := fs.String("o", "", "write the program image (JSON) to this file")
+	list := fs.Bool("list", false, "print a disassembly listing")
+	sym := fs.Bool("sym", false, "print the symbol list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sensmart-asm [-o out.json] [-list] [-sym] file.s")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	prog, err := asm.Assemble(name, string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes of code, entry %#x, heap %d bytes, %d symbols\n",
+		prog.Name, prog.SizeBytes(), prog.Entry, prog.HeapSize, len(prog.Symbols))
+	if *list {
+		fmt.Print(avr.DisasmWords(prog.Words))
+	}
+	if *sym {
+		for _, s := range prog.Symbols {
+			fmt.Printf("%-24s %-5s %#06x\n", s.Name, s.Kind, s.Addr)
+		}
+	}
+	if *out != "" {
+		data, err := prog.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/image"
+)
+
+const testSrc = `
+.data
+v: .space 1
+.text
+main:
+    ldi r16, 7
+    sts v, r16
+    break
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAsmToolWritesImage(t *testing.T) {
+	src := writeTemp(t, "prog.s", testSrc)
+	out := filepath.Join(t.TempDir(), "prog.json")
+	if err := run([]string{"-o", out, "-list", "-sym", src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog image.Program
+	if err := prog.DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "prog" || len(prog.Words) == 0 {
+		t.Errorf("decoded program wrong: %+v", prog)
+	}
+}
+
+func TestAsmToolRejectsBadSource(t *testing.T) {
+	src := writeTemp(t, "bad.s", "main:\n    frobnicate r1\n")
+	if err := run([]string{src}); err == nil {
+		t.Error("expected assembly error")
+	}
+}
+
+func TestAsmToolUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error with no arguments")
+	}
+	if err := run([]string{"/nonexistent/file.s"}); err == nil {
+		t.Error("expected error for a missing file")
+	}
+}

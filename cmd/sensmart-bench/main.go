@@ -1,0 +1,105 @@
+// Command sensmart-bench regenerates the tables and figures of the paper's
+// evaluation (Section V). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	sensmart-bench -exp all
+//	sensmart-bench -exp fig6 -activations 300
+//	sensmart-bench -exp fig7 -budget 80000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sensmart-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|all")
+	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
+	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			fmt.Print(experiment.Table1().Render())
+			return nil
+		},
+		"table2": func() error {
+			t, err := experiment.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+			return nil
+		},
+		"fig4": func() error {
+			t, err := experiment.Figure4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+			return nil
+		},
+		"fig5": func() error {
+			t, err := experiment.Figure5()
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+			return nil
+		},
+		"fig6": func() error {
+			points, err := experiment.Figure6(nil, *activations)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.Figure6Table(points).Render())
+			return nil
+		},
+		"fig7": func() error {
+			points, err := experiment.Figure7(nil, *budget)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.Figure7Table(points).Render())
+			return nil
+		},
+		"fig8": func() error {
+			points, err := experiment.Figure8(nil, *budget)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.Figure8Table(points).Render())
+			return nil
+		},
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	runner, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return runner()
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBenchToolRunsQuickExperiments(t *testing.T) {
+	// table1 and fig4 are cheap enough for a unit test; the heavyweight
+	// sweeps are covered by the root benchmarks and the experiment package.
+	for _, exp := range []string{"table1", "fig4"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestBenchToolRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}

@@ -1,0 +1,63 @@
+// Command sensmart-cc compiles minic (C subset) source into a SenSmart
+// program image — the compiler stage of the paper's Figure 1.
+//
+// Usage:
+//
+//	sensmart-cc [-o prog.json] [-S] [-list] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/minic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sensmart-cc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sensmart-cc", flag.ContinueOnError)
+	out := fs.String("o", "", "write the program image (JSON) to this file")
+	list := fs.Bool("list", false, "print the generated AVR code listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sensmart-cc [-o out.json] [-list] file.c")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	prog, err := minic.Compile(name, string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes of code, heap %d bytes, %d symbols\n",
+		prog.Name, prog.SizeBytes(), prog.HeapSize, len(prog.Symbols))
+	if *list {
+		fmt.Print(avr.DisasmWords(prog.Words))
+	}
+	if *out != "" {
+		data, err := prog.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/image"
+)
+
+const testC = `
+int x;
+void main() {
+    x = 6 * 7;
+    exit();
+}
+`
+
+func TestCCToolCompiles(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(src, []byte(testC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "prog.json")
+	if err := run([]string{"-o", out, "-list", src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog image.Program
+	if err := prog.DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Lookup("g_x"); !ok {
+		t.Error("compiled image missing g_x symbol")
+	}
+}
+
+func TestCCToolRejectsBadC(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "bad.c")
+	if err := os.WriteFile(src, []byte("void main() { y = 1; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{src}); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestCCToolUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+}

@@ -1,0 +1,103 @@
+// Command sensmart-rewrite runs the base-station binary rewriter on a
+// program (assembly source or a JSON image from sensmart-asm) and reports
+// the naturalization result: patch sites, shift table, trampoline layout,
+// and code inflation — the quantities of the paper's Figure 4.
+//
+// Usage:
+//
+//	sensmart-rewrite [-nogroup] [-nomerge] [-patches] [-list] file.{s,json}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+	"repro/internal/minic"
+	"repro/internal/rewriter"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sensmart-rewrite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sensmart-rewrite", flag.ContinueOnError)
+	noGroup := fs.Bool("nogroup", false, "disable the grouped-memory-access optimization")
+	noMerge := fs.Bool("nomerge", false, "disable trampoline merging")
+	patches := fs.Bool("patches", false, "list every patch site")
+	list := fs.Bool("list", false, "print the naturalized code listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sensmart-rewrite [-nogroup] [-nomerge] [-patches] [-list] file.{s,json}")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{
+		NoGrouping:        *noGroup,
+		NoTrampolineMerge: *noMerge,
+	})
+	if err != nil {
+		return err
+	}
+	native := prog.SizeBytes()
+	total := nat.Program.SizeBytes()
+	fmt.Printf("%s: native %d B -> naturalized %d B (%.1f%% inflation)\n",
+		prog.Name, native, total, 100*float64(total-native)/float64(native))
+	fmt.Printf("  code %d B, shift table %d entries (%d B), trampolines %d B (%d bodies)\n",
+		2*nat.CodeWords, nat.Shift.Len(), 2*nat.ShiftWords,
+		2*nat.TrampolineWords, len(nat.Trampolines))
+	byClass := make(map[rewriter.Class]int)
+	for _, p := range nat.Patches {
+		byClass[p.Class]++
+	}
+	fmt.Printf("  %d patch sites:", len(nat.Patches))
+	for c := rewriter.ClassBranch; c <= rewriter.ClassExit; c++ {
+		if n := byClass[c]; n > 0 {
+			fmt.Printf(" %s=%d", c, n)
+		}
+	}
+	fmt.Println()
+	if *patches {
+		for _, p := range nat.Patches {
+			fmt.Printf("  #%-4d %-12s orig %#06x -> nat %#06x  %s\n",
+				p.Local, p.Class, p.OrigPC, p.NatPC, avr.Disasm(p.Orig))
+		}
+	}
+	if *list {
+		fmt.Print(avr.DisasmWords(nat.Program.Words[:nat.CodeWords]))
+	}
+	return nil
+}
+
+// loadProgram reads either assembly source or a JSON image.
+func loadProgram(path string) (*image.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch filepath.Ext(path) {
+	case ".json":
+		var prog image.Program
+		if err := prog.DecodeJSON(data); err != nil {
+			return nil, err
+		}
+		return &prog, nil
+	case ".c":
+		return minic.Compile(name, string(data))
+	}
+	return asm.Assemble(name, string(data))
+}

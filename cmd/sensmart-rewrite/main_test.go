@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/avr/asm"
+)
+
+const testSrc = `
+.data
+v: .space 2
+.text
+main:
+    ldi r26, lo8(v)
+    ldi r27, hi8(v)
+    ldi r16, 3
+loop:
+    st X+, r16
+    dec r16
+    brne loop
+    break
+`
+
+func TestRewriteToolOnSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(src, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-patches", "-list", src}); err != nil {
+		t.Fatal(err)
+	}
+	// The ablation flags must also work.
+	if err := run([]string{"-nogroup", "-nomerge", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteToolOnJSONImage(t *testing.T) {
+	prog, err := asm.Assemble("fromjson", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := prog.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prog.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteToolUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+}

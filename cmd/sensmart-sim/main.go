@@ -1,0 +1,150 @@
+// Command sensmart-sim runs programs on the simulated MICA2-class node,
+// either bare-metal ("native") or as tasks under the SenSmart kernel.
+//
+// Usage:
+//
+//	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats] file.{s,json}...
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/avr/asm"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/minic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sensmart-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sensmart-sim", flag.ContinueOnError)
+	native := fs.Bool("native", false, "run bare-metal without the kernel (single program)")
+	cycles := fs.Uint64("cycles", 200_000_000, "cycle budget (0 = unlimited)")
+	copies := fs.Int("copies", 1, "task instances to deploy per program")
+	uart := fs.Bool("uart", false, "dump UART output after the run")
+	stats := fs.Bool("stats", false, "print kernel statistics")
+	verbose := fs.Bool("v", false, "trace kernel events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: sensmart-sim [flags] file.{s,json}...")
+	}
+	var programs []*image.Program
+	for _, path := range fs.Args() {
+		p, err := loadProgram(path)
+		if err != nil {
+			return err
+		}
+		programs = append(programs, p)
+	}
+
+	if *native {
+		if len(programs) != 1 || *copies != 1 {
+			return errors.New("-native runs exactly one program")
+		}
+		return runNative(programs[0], *cycles, *uart)
+	}
+
+	cfg := kernel.Config{}
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "kernel: "+format+"\n", a...)
+		}
+	}
+	sys := core.NewSystem(core.WithKernelConfig(cfg))
+	for _, p := range programs {
+		for c := 0; c < *copies; c++ {
+			if _, err := sys.Deploy(p); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sys.Boot(); err != nil {
+		return err
+	}
+	if err := sys.Run(*cycles); err != nil {
+		return err
+	}
+	m := sys.Machine()
+	fmt.Printf("ran %d cycles (%.3f s simulated), idle %.1f%%, ~%.2f mJ CPU energy\n",
+		m.Cycles(), float64(m.Cycles())/mcu.ClockHz,
+		100*float64(m.IdleCycles())/float64(m.Cycles()), m.EnergyMilliJoules())
+	for _, t := range sys.Tasks() {
+		pl, ph, pu := t.Region()
+		status := t.State().String()
+		if t.ExitReason != "" {
+			status += ": " + t.ExitReason
+		}
+		fmt.Printf("  %-20s %-28s region [%#x,%#x) heap %dB stack %dB peak %dB\n",
+			t.Name, status, pl, pu, ph-pl, t.StackAlloc(), t.MaxStackUsed)
+	}
+	if *stats {
+		st := sys.Kernel().Stats
+		fmt.Printf("stats: switches=%d preemptions=%d branch-traps=%d relocations=%d (%d B moved) terminations=%d\n",
+			st.ContextSwitches, st.Preemptions, st.BranchTraps,
+			st.Relocations, st.RelocatedBytes, st.Terminations)
+		for class, n := range st.ServiceCalls {
+			fmt.Printf("  service %-14s %d\n", class, n)
+		}
+	}
+	if *uart {
+		fmt.Printf("uart: %q\n", m.UARTOutput())
+	}
+	return nil
+}
+
+func runNative(prog *image.Program, limit uint64, uart bool) error {
+	m := mcu.New()
+	if err := m.LoadFlash(0, prog.Words); err != nil {
+		return err
+	}
+	for i, b := range prog.DataInit {
+		m.Poke(prog.HeapBase+uint16(i), b)
+	}
+	m.SetPC(prog.Entry)
+	err := m.Run(limit)
+	var f *mcu.Fault
+	if err != nil && !(errors.As(err, &f) && f.Kind == mcu.FaultBreak) {
+		return err
+	}
+	fmt.Printf("native run: %d cycles (%.3f s simulated), idle %.1f%%, ~%.2f mJ CPU energy\n",
+		m.Cycles(), float64(m.Cycles())/mcu.ClockHz,
+		100*float64(m.IdleCycles())/float64(m.Cycles()), m.EnergyMilliJoules())
+	if uart {
+		fmt.Printf("uart: %q\n", m.UARTOutput())
+	}
+	return nil
+}
+
+func loadProgram(path string) (*image.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch filepath.Ext(path) {
+	case ".json":
+		var prog image.Program
+		if err := prog.DecodeJSON(data); err != nil {
+			return nil, err
+		}
+		return &prog, nil
+	case ".c":
+		return minic.Compile(name, string(data))
+	}
+	return asm.Assemble(name, string(data))
+}

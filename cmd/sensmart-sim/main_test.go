@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSrc = `
+.data
+v: .space 1
+.text
+main:
+    ldi r16, 9
+    sts v, r16
+    break
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimToolKernelRun(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	if err := run([]string{"-cycles", "1000000", "-stats", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimToolMultipleCopies(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	if err := run([]string{"-cycles", "1000000", "-copies", "3", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimToolNativeRun(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	if err := run([]string{"-native", "-cycles", "1000000", "-uart", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimToolNativeRejectsMultiple(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	if err := run([]string{"-native", src, src}); err == nil {
+		t.Error("expected error: -native takes one program")
+	}
+}
+
+func TestSimToolUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+}

@@ -1,0 +1,66 @@
+// PeriodicTask: the paper's Figure 6 workload in miniature. The same
+// periodic sense-compute application runs bare-metal and under SenSmart at
+// two computation sizes — one below the saturation knee (where SenSmart
+// tracks native execution almost exactly) and one above it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	sensmart "repro"
+)
+
+func main() {
+	for _, insns := range []int{20_000, 90_000} {
+		params := sensmart.PeriodicParams{Instructions: insns, Activations: 50}
+
+		nativeCycles, nativeIdle := runNative(params)
+		smartCycles, smartIdle := runSenSmart(params)
+
+		fmt.Printf("computation size %d instructions (50 activations):\n", insns)
+		fmt.Printf("  native:   %8.3f s, CPU busy %4.1f%%\n",
+			float64(nativeCycles)/7372800, busy(nativeCycles, nativeIdle))
+		fmt.Printf("  sensmart: %8.3f s, CPU busy %4.1f%% (%.2fx native)\n",
+			float64(smartCycles)/7372800, busy(smartCycles, smartIdle),
+			float64(smartCycles)/float64(nativeCycles))
+	}
+}
+
+func busy(total, idle uint64) float64 {
+	return 100 * (1 - float64(idle)/float64(total))
+}
+
+func runNative(p sensmart.PeriodicParams) (cycles, idle uint64) {
+	prog := sensmart.PeriodicTaskNative(p)
+	m := sensmart.NewMachine()
+	if err := m.LoadFlash(0, prog.Words); err != nil {
+		log.Fatal(err)
+	}
+	m.SetPC(prog.Entry)
+	// The program's final BREAK stops the bare machine; hitting the cycle
+	// limit instead would return nil.
+	if err := m.Run(5_000_000_000); err == nil {
+		log.Fatal("native run did not finish")
+	}
+	return m.Cycles(), m.IdleCycles()
+}
+
+func runSenSmart(p sensmart.PeriodicParams) (cycles, idle uint64) {
+	sys := sensmart.NewSystem()
+	if _, err := sys.Deploy(sensmart.PeriodicTask(p)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(5_000_000_000); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.Done() {
+		log.Fatal(errors.New("sensmart run did not finish"))
+	}
+	m := sys.Machine()
+	return m.Cycles(), m.IdleCycles()
+}

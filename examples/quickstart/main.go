@@ -1,0 +1,82 @@
+// Quickstart: compile a tiny application, deploy two isolated instances of
+// it under the SenSmart kernel, run them to completion, and read their
+// results back through the logical-address mapping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensmart "repro"
+)
+
+// src is a complete SenSmart application: it sums 1..100 into a heap
+// variable and then parks itself. Note the plain absolute heap addressing — the
+// base-station rewriter and the kernel's logical addressing make the same
+// binary safe to instantiate many times concurrently.
+const src = `
+.data
+total: .space 2
+.text
+main:
+    clr r24              ; sum low
+    clr r25              ; sum high
+    ldi r16, 100
+loop:
+    add r24, r16
+    clr r0
+    adc r25, r0
+    dec r16
+    brne loop
+    sts total, r24
+    sts total+1, r25
+hold:
+    sleep                ; keep the task alive so its region stays inspectable
+    rjmp hold
+`
+
+func main() {
+	sys := sensmart.NewSystem()
+
+	prog, err := sys.CompileString("sum", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d bytes\n", prog.Name, prog.SizeBytes())
+
+	nat, err := sys.Naturalize(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naturalized: %d patch sites, %d bytes (%.0f%% inflation)\n",
+		len(nat.Patches), nat.Program.SizeBytes(),
+		100*float64(nat.Program.SizeBytes()-prog.SizeBytes())/float64(prog.SizeBytes()))
+
+	// Two instances of the same binary run as two isolated tasks.
+	taskA, err := sys.Deploy(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	taskB, err := sys.Deploy(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range []*sensmart.Task{taskA, taskB} {
+		v, err := sys.TaskHeapWord(t, "total")
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, _, pu := t.Region()
+		fmt.Printf("%s: total=%d (region [%#x,%#x), %s)\n", t.Name, v, pl, pu, t.State())
+	}
+	fmt.Printf("simulated %d cycles (%.3f ms on a 7.37 MHz mote)\n",
+		sys.Machine().Cycles(), float64(sys.Machine().Cycles())/7372.8)
+}

@@ -1,0 +1,111 @@
+// Stack relocation in action: three tasks share far less stack memory than
+// their peak demands add up to. A deeply recursive task repeatedly outgrows
+// its 64-byte initial stack; the kernel transparently relocates regions to
+// satisfy it, taking surplus from its idle neighbours — the paper's core
+// "versatile stack management" mechanism (Section IV-C3), with the kernel's
+// relocation trace turned on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensmart "repro"
+)
+
+// recursive sums 1..120 with a 3-byte stack frame per level: ~360 bytes of
+// peak stack against a 64-byte initial allocation.
+const recursive = `
+.data
+result: .space 2
+.text
+main:
+    ldi r24, 120
+    clr r25
+    clr r26
+    call sum
+    sts result, r25
+    sts result+1, r26
+    break
+sum:
+    push r24
+    tst r24
+    breq done
+    add r25, r24
+    clr r0
+    adc r26, r0
+    dec r24
+    call sum
+done:
+    pop r24
+    ret
+`
+
+// lightweight idles with a tiny stack, donating its surplus.
+const lightweight = `
+.data
+beats: .space 2
+.text
+main:
+loop:
+    lds r24, beats
+    lds r25, beats+1
+    adiw r24, 1
+    sts beats, r24
+    sts beats+1, r25
+    sleep
+    rjmp loop
+`
+
+func main() {
+	sys := sensmart.NewSystem(sensmart.WithKernelConfig(sensmart.KernelConfig{
+		InitialStack: 64,
+		AppLimit:     640, // tight memory so relocation must work for a living
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  kernel: "+format+"\n", args...)
+		},
+	}))
+
+	rec, err := sys.CompileString("recursive", recursive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	light, err := sys.CompileString("lightweight", lightweight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recTask, err := sys.Deploy(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Deploy(light); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Deploy(light); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("booting: one deep-recursion task + two lightweight tasks in 640 B")
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(20_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := sys.TaskHeapWord(recTask, "result")
+	if err == nil && recTask.State().String() == "terminated" {
+		// The task exited; its region may already be reclaimed, so report
+		// the value only if the lookup still resolves.
+		_ = v
+	}
+	fmt.Printf("\nrecursive task: %s (%s), peak stack %d B, %d relocations\n",
+		recTask.Name, recTask.ExitReason, recTask.MaxStackUsed, recTask.Relocations)
+	st := sys.Kernel().Stats
+	fmt.Printf("kernel total: %d relocations moved %d bytes\n",
+		st.Relocations, st.RelocatedBytes)
+	for _, t := range sys.Tasks()[1:] {
+		fmt.Printf("  donor %-16s still %s with %d B of stack\n",
+			t.Name, t.State(), t.StackAlloc())
+	}
+}

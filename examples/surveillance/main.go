@@ -1,0 +1,186 @@
+// Surveillance: a VigilNet-style deployment scenario (the paper's §I cites
+// VigilNet as the kind of complex, multi-task sensornet software that needs
+// a real multitasking OS). A detection task continuously samples the ADC
+// and counts threshold crossings while a heartbeat task reports over the
+// radio. Mid-mission, the base station "reprograms" the node: a brand-new
+// classification task is deployed into the running system — the dynamic
+// task admission the paper sketches as an OS service.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensmart "repro"
+)
+
+// detector samples the ADC forever and counts readings above the threshold.
+const detector = `
+.equ THRESHOLD, 0x200
+.data
+events:  .space 2
+samples: .space 2
+.text
+main:
+loop:
+    ldi r16, 0xC0        ; start a conversion
+    out ADCSRA, r16
+wait:
+    in r16, ADCSRA
+    sbrc r16, 6
+    rjmp wait
+    in r24, ADCL
+    in r25, ADCH
+    lds r18, samples
+    lds r19, samples+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts samples, r18
+    sts samples+1, r19
+    ; threshold compare
+    cpi r24, lo8(THRESHOLD)
+    ldi r16, hi8(THRESHOLD)
+    cpc r25, r16
+    brlo loop
+    lds r18, events
+    lds r19, events+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts events, r18
+    sts events+1, r19
+    rjmp loop
+`
+
+// heartbeat transmits a beacon byte every ~50 ms and sleeps in between.
+const heartbeat = `
+.data
+beats: .space 2
+.text
+main:
+loop:
+    in r16, RSR
+    sbrs r16, 0
+    rjmp loop            ; radio busy: poll
+    ldi r16, 0xBE        ; beacon byte
+    out RDR, r16
+    lds r18, beats
+    lds r19, beats+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts beats, r18
+    sts beats+1, r19
+    ; sleep ~20 quanta between beacons
+    ldi r17, 20
+zzz:
+    sleep
+    dec r17
+    brne zzz
+    rjmp loop
+`
+
+// classifier is deployed mid-run: it recursively analyses a window of
+// pseudo-random "detection features" (a stand-in for VigilNet's
+// classification stage), exercising deep stacks on a node whose memory is
+// already carved up — only possible because stacks relocate.
+const classifier = `
+.data
+done:  .space 2
+seed:  .space 2
+.text
+main:
+    ldi r16, 0x5A
+    sts seed, r16
+    ldi r16, 0xA5
+    sts seed+1, r16
+loop:
+    ; next pseudo-random depth 1..24
+    lds r24, seed
+    lds r25, seed+1
+    lsr r25
+    ror r24
+    brcc noxor
+    ldi r18, 0xB4
+    eor r25, r18
+noxor:
+    sts seed, r24
+    sts seed+1, r25
+    andi r24, 0x17
+    subi r24, -1
+    rcall analyze
+    lds r18, done
+    lds r19, done+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts done, r18
+    sts done+1, r19
+    sleep
+    rjmp loop
+
+; analyze(depth=r24): recursive feature aggregation, 3 bytes per level.
+analyze:
+    push r24
+    tst r24
+    breq abase
+    dec r24
+    rcall analyze
+abase:
+    pop r24
+    ret
+`
+
+func main() {
+	sys := sensmart.NewSystem(sensmart.WithKernelConfig(sensmart.KernelConfig{
+		SliceCycles: 15_000,
+	}))
+	compile := func(name, src string) *sensmart.Program {
+		p, err := sys.CompileString(name, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	det, err := sys.Deploy(compile("detector", detector))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hb, err := sys.Deploy(compile("heartbeat", heartbeat))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: the node runs its original mission for ~2 simulated seconds.
+	if err := sys.Run(15_000_000); err != nil {
+		log.Fatal(err)
+	}
+	events, _ := sys.TaskHeapWord(det, "events")
+	samples, _ := sys.TaskHeapWord(det, "samples")
+	beats, _ := sys.TaskHeapWord(hb, "beats")
+	fmt.Printf("phase 1 (2.0 s): %d ADC samples, %d detections, %d beacons\n",
+		samples, events, beats)
+
+	// Phase 2: the base station reprograms the node with a classifier.
+	cls, err := sys.Deploy(compile("classifier", classifier))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reprogrammed: classifier task deployed into the running node")
+	if err := sys.Run(30_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	events, _ = sys.TaskHeapWord(det, "events")
+	analyses, _ := sys.TaskHeapWord(cls, "done")
+	m := sys.Machine()
+	fmt.Printf("phase 2 (4.1 s total): %d detections, %d classification runs, %d radio bytes\n",
+		events, analyses, len(m.RadioOutput()))
+	fmt.Printf("classifier: peak stack %d B (initial 64 B), %d relocations to grow it\n",
+		cls.MaxStackUsed, cls.Relocations)
+	fmt.Printf("node energy so far: %.1f mJ (CPU idle %.1f%%)\n",
+		m.EnergyMilliJoules(), 100*float64(m.IdleCycles())/float64(m.Cycles()))
+	for _, t := range sys.Tasks() {
+		fmt.Printf("  %-14s %s\n", t.Name, t.State())
+	}
+}

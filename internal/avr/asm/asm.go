@@ -1,0 +1,528 @@
+// Package asm implements a two-pass assembler for the AVR subset in
+// internal/avr. It plays the role of the compiler in Figure 1 of the paper:
+// it turns application source into a binary program plus the symbol list
+// (code labels, data objects, heap usage) that the base-station rewriter
+// consumes.
+//
+// Syntax (one statement per line, ';' or '//' starts a comment):
+//
+//	.text                ; switch to the code section (default)
+//	.data                ; switch to the data-memory section
+//	.equ NAME, expr      ; define a constant
+//	.entry label         ; set the entry point (default: "main", else 0)
+//	.stack N             ; request an initial stack reserve of N bytes
+//	.org ADDR            ; advance the location counter (words in .text)
+//	.dw e, e, ...        ; emit 16-bit words (.text: program-memory tables)
+//	.db e, e, ...        ; emit bytes (.data: initialised heap bytes)
+//	.space N             ; reserve N zeroed bytes (.data)
+//	label:               ; define a label at the current location
+//	mnemonic operands    ; one instruction
+//
+// Data labels are data-memory byte addresses starting at the logical heap
+// base 0x0100; code labels are program-memory word addresses starting at 0.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/image"
+	"repro/internal/ioregs"
+)
+
+// HeapBase is the first data-memory byte address of the application heap in
+// the task's logical address space (right above the I/O area, Figure 2).
+const HeapBase = 0x0100
+
+// Error is a source-position-annotated assembly error.
+type Error struct {
+	File string
+	Line int
+	Err  error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %v", e.File, e.Line, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Assemble assembles src into a Program named name.
+func Assemble(name, src string) (*image.Program, error) {
+	a := &assembler{
+		name:   name,
+		consts: make(map[string]int64, len(ioregs.Names)+2),
+		labels: make(map[string]labelDef),
+	}
+	// Predefine the MCU register map plus the memory-layout landmarks every
+	// program needs, so sources read like regular AVR assembly.
+	for n, v := range ioregs.Names {
+		a.consts[n] = v
+	}
+	a.consts["RAMEND"] = 0x10FF
+	a.consts["HEAPBASE"] = HeapBase
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble for statically known-good sources (the built-in
+// benchmark programs); it panics on error.
+func MustAssemble(name, src string) *image.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type section uint8
+
+const (
+	secText section = iota
+	secData
+)
+
+type labelDef struct {
+	kind image.SymKind
+	addr uint32
+}
+
+// stmt is one pass-1 statement awaiting encoding in pass 2.
+type stmt struct {
+	line     int
+	section  section
+	addr     uint32 // word address (.text) or byte address (.data)
+	mnemonic string
+	operands []string
+	dirData  []string // .dw/.db expressions
+	isWords  bool     // .dw vs .db
+}
+
+type assembler struct {
+	name   string
+	consts map[string]int64
+	labels map[string]labelDef
+
+	stmts     []stmt
+	textPos   uint32 // word location counter
+	dataPos   uint32 // byte location counter relative to HeapBase
+	dataInit  []byte
+	dataDirty bool // true once .db wrote initialised data
+	entryName string
+	stackRes  int64
+	section   section
+	textData  []image.Range
+
+	words []uint16
+}
+
+// markTextData records [start, end) as constant data inside .text, merging
+// with an adjacent previous range.
+func (a *assembler) markTextData(start, end uint32) {
+	if n := len(a.textData); n > 0 && a.textData[n-1].End == start {
+		a.textData[n-1].End = end
+		return
+	}
+	a.textData = append(a.textData, image.Range{Start: start, End: end})
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.name, Line: line, Err: fmt.Errorf(format, args...)}
+}
+
+// pass1 parses every line, sizes instructions, and defines labels.
+func (a *assembler) pass1(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Peel off any leading labels.
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 || !isLabelName(text[:colon]) {
+				break
+			}
+			if err := a.defineLabel(line, text[:colon]); err != nil {
+				return err
+			}
+			text = strings.TrimSpace(text[colon+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			if err := a.directive(line, text); err != nil {
+				return err
+			}
+			continue
+		}
+		mn, rest := splitMnemonic(text)
+		ops := splitOperands(rest)
+		size, err := instWords(mn, ops)
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, section: secText, addr: a.textPos,
+			mnemonic: mn, operands: ops,
+		})
+		a.textPos += uint32(size)
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(line int, name string) error {
+	if _, dup := a.labels[name]; dup {
+		return a.errf(line, "duplicate label %q", name)
+	}
+	if _, dup := a.consts[name]; dup {
+		return a.errf(line, "label %q collides with .equ constant", name)
+	}
+	if a.section == secText {
+		a.labels[name] = labelDef{kind: image.SymCode, addr: a.textPos}
+	} else {
+		a.labels[name] = labelDef{kind: image.SymData, addr: HeapBase + a.dataPos}
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, text string) error {
+	mn, rest := splitMnemonic(text)
+	switch mn {
+	case ".text":
+		a.section = secText
+	case ".data":
+		a.section = secData
+	case ".global", ".globl", ".section":
+		// Accepted and ignored for source compatibility.
+	case ".equ", ".set":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return a.errf(line, ".equ needs NAME, value")
+		}
+		name := strings.TrimSpace(parts[0])
+		if !isLabelName(name) {
+			return a.errf(line, "bad constant name %q", name)
+		}
+		v, err := a.eval(parts[1], 0)
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		a.consts[name] = v
+	case ".entry":
+		a.entryName = strings.TrimSpace(rest)
+	case ".stack":
+		v, err := a.eval(rest, 0)
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		a.stackRes = v
+	case ".org":
+		v, err := a.eval(rest, 0)
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		if a.section == secText {
+			if uint32(v) < a.textPos {
+				return a.errf(line, ".org %#x before current position %#x", v, a.textPos)
+			}
+			// Pad with NOPs via a synthetic .dw statement in pass 2.
+			for a.textPos < uint32(v) {
+				a.stmts = append(a.stmts, stmt{
+					line: line, section: secText, addr: a.textPos,
+					dirData: []string{"0"}, isWords: true,
+				})
+				a.textPos++
+			}
+		} else {
+			if v < int64(HeapBase) || uint32(v-HeapBase) < a.dataPos {
+				return a.errf(line, ".org %#x invalid in .data", v)
+			}
+			a.dataPos = uint32(v - HeapBase)
+		}
+	case ".dw":
+		exprs := splitOperands(rest)
+		if len(exprs) == 0 {
+			return a.errf(line, ".dw needs at least one value")
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, section: a.section,
+			addr:    a.pos(),
+			dirData: exprs, isWords: true,
+		})
+		if a.section == secText {
+			a.markTextData(a.textPos, a.textPos+uint32(len(exprs)))
+			a.textPos += uint32(len(exprs))
+		} else {
+			a.dataPos += uint32(2 * len(exprs))
+		}
+	case ".db", ".byte":
+		exprs := splitOperands(rest)
+		if len(exprs) == 0 {
+			return a.errf(line, ".db needs at least one value")
+		}
+		if a.section == secText && len(exprs)%2 != 0 {
+			return a.errf(line, ".db in .text needs an even byte count")
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, section: a.section,
+			addr:    a.pos(),
+			dirData: exprs,
+		})
+		if a.section == secText {
+			a.markTextData(a.textPos, a.textPos+uint32(len(exprs)/2))
+			a.textPos += uint32(len(exprs) / 2)
+		} else {
+			a.dataPos += uint32(len(exprs))
+		}
+	case ".space", ".skip":
+		v, err := a.eval(rest, 0)
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		if v < 0 {
+			return a.errf(line, ".space needs a non-negative size")
+		}
+		if a.section == secText {
+			return a.errf(line, ".space only valid in .data")
+		}
+		a.dataPos += uint32(v)
+	default:
+		return a.errf(line, "unknown directive %q", mn)
+	}
+	return nil
+}
+
+func (a *assembler) pos() uint32 {
+	if a.section == secText {
+		return a.textPos
+	}
+	return a.dataPos
+}
+
+// pass2 encodes every statement now that all labels are known.
+func (a *assembler) pass2() error {
+	a.words = make([]uint16, 0, a.textPos)
+	for _, st := range a.stmts {
+		if st.dirData != nil {
+			if err := a.encodeData(st); err != nil {
+				return err
+			}
+			continue
+		}
+		in, err := a.encodeInst(st)
+		if err != nil {
+			return err
+		}
+		w, err := avr.Encode(in)
+		if err != nil {
+			return a.errf(st.line, "%v", err)
+		}
+		if uint32(len(a.words)) != st.addr {
+			return a.errf(st.line, "internal: location counter drift (%d != %d)", len(a.words), st.addr)
+		}
+		a.words = append(a.words, w...)
+	}
+	return nil
+}
+
+func (a *assembler) encodeData(st stmt) error {
+	vals := make([]int64, len(st.dirData))
+	for i, e := range st.dirData {
+		v, err := a.eval(e, int64(st.addr)*2)
+		if err != nil {
+			return a.errf(st.line, "%v", err)
+		}
+		vals[i] = v
+	}
+	if st.section == secText {
+		if st.isWords {
+			for _, v := range vals {
+				a.words = append(a.words, uint16(v))
+			}
+		} else {
+			for i := 0; i < len(vals); i += 2 {
+				a.words = append(a.words, uint16(vals[i]&0xFF)|uint16(vals[i+1]&0xFF)<<8)
+			}
+		}
+		return nil
+	}
+	// .data: record initialised bytes at the statement's offset.
+	off := int(st.addr)
+	var bytes []byte
+	for _, v := range vals {
+		if st.isWords {
+			bytes = append(bytes, byte(v), byte(v>>8))
+		} else {
+			bytes = append(bytes, byte(v))
+		}
+	}
+	need := off + len(bytes)
+	for len(a.dataInit) < need {
+		a.dataInit = append(a.dataInit, 0)
+	}
+	copy(a.dataInit[off:], bytes)
+	return nil
+}
+
+func (a *assembler) eval(expr string, dotByteAddr int64) (int64, error) {
+	return evalExpr(strings.TrimSpace(expr), exprEnv{
+		dot: dotByteAddr,
+		lookup: func(name string) (int64, bool) {
+			if v, ok := a.consts[name]; ok {
+				return v, true
+			}
+			if l, ok := a.labels[name]; ok {
+				return int64(l.addr), true
+			}
+			return 0, false
+		},
+	})
+}
+
+func (a *assembler) finish() (*image.Program, error) {
+	p := &image.Program{
+		Name:     a.name,
+		Words:    a.words,
+		HeapBase: HeapBase,
+		HeapSize: uint16(a.dataPos),
+		DataInit: a.dataInit,
+		TextData: a.textData,
+	}
+	if a.stackRes > 0 {
+		p.StackReserve = uint16(a.stackRes)
+	}
+	entry := a.entryName
+	if entry == "" {
+		entry = "main"
+	}
+	if l, ok := a.labels[entry]; ok && l.kind == image.SymCode {
+		p.Entry = l.addr
+	} else if a.entryName != "" {
+		return nil, fmt.Errorf("asm: %s: entry label %q not defined", a.name, a.entryName)
+	}
+	for name, l := range a.labels {
+		p.Symbols = append(p.Symbols, image.Symbol{Name: name, Kind: l.kind, Addr: l.addr})
+	}
+	for name, v := range a.consts {
+		p.Symbols = append(p.Symbols, image.Symbol{Name: name, Kind: image.SymConst, Addr: uint32(v)})
+	}
+	p.SortSymbols()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'':
+			inChar = !inChar
+		case inChar:
+		case s[i] == ';':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func splitMnemonic(s string) (mnemonic, rest string) {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return strings.ToLower(s[:i]), strings.TrimSpace(s[i:])
+		}
+	}
+	return strings.ToLower(s), ""
+}
+
+// splitOperands splits on commas that are not nested in parentheses or
+// character literals.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var (
+		out   []string
+		depth int
+		start int
+	)
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case '(':
+			if !inChar {
+				depth++
+			}
+		case ')':
+			if !inChar {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inChar {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func isLabelName(s string) bool {
+	if s == "" || s == "." {
+		return false
+	}
+	if !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+	}
+	// Reject bare register names as labels to catch typos early.
+	if _, ok := parseReg(s); ok {
+		return false
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, bool) {
+	switch strings.ToUpper(s) {
+	case "XL":
+		return 26, true
+	case "XH":
+		return 27, true
+	case "YL":
+		return 28, true
+	case "YH":
+		return 29, true
+	case "ZL":
+		return 30, true
+	case "ZH":
+		return 31, true
+	}
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	return uint8(n), true
+}

@@ -1,0 +1,239 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprEnv resolves symbol references while evaluating an expression.
+type exprEnv struct {
+	lookup func(name string) (int64, bool)
+	dot    int64 // byte address of the current instruction ("." in GNU as)
+}
+
+// evalExpr evaluates a constant expression with the grammar
+//
+//	expr   := term { (+|-) term }
+//	term   := factor { (*|/) factor }
+//	factor := number | 'c' | symbol | func '(' expr ')' | '(' expr ')' | -factor | .
+//
+// supporting lo8()/hi8() byte extraction and pmbyte() word→byte address
+// conversion for program-memory tables.
+func evalExpr(s string, env exprEnv) (int64, error) {
+	p := &exprParser{src: s, env: env}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("asm: trailing junk in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+	env exprEnv
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseExpr() (int64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			p.pos++
+			t, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseTerm() (int64, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			f, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v *= f
+		case '/':
+			p.pos++
+			f, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			if f == 0 {
+				return 0, fmt.Errorf("asm: division by zero in %q", p.src)
+			}
+			v /= f
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseFactor() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("asm: unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("asm: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c == '-':
+		p.pos++
+		v, err := p.parseFactor()
+		return -v, err
+	case c == '\'':
+		return p.parseChar()
+	case c == '.' && !isIdentByte(p.byteAt(p.pos+1)):
+		p.pos++
+		return p.env.dot, nil
+	case c >= '0' && c <= '9':
+		return p.parseNumber()
+	case isIdentStart(c):
+		return p.parseIdent()
+	}
+	return 0, fmt.Errorf("asm: unexpected %q in expression %q", string(c), p.src)
+}
+
+func (p *exprParser) byteAt(i int) byte {
+	if i < len(p.src) {
+		return p.src[i]
+	}
+	return 0
+}
+
+func (p *exprParser) parseChar() (int64, error) {
+	// 'x' or '\n' style character literal.
+	rest := p.src[p.pos:]
+	if len(rest) >= 3 && rest[1] != '\\' && rest[2] == '\'' {
+		p.pos += 3
+		return int64(rest[1]), nil
+	}
+	if len(rest) >= 4 && rest[1] == '\\' && rest[3] == '\'' {
+		p.pos += 4
+		switch rest[2] {
+		case 'n':
+			return '\n', nil
+		case 'r':
+			return '\r', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\':
+			return '\\', nil
+		case '\'':
+			return '\'', nil
+		}
+	}
+	return 0, fmt.Errorf("asm: bad character literal in %q", p.src)
+}
+
+func (p *exprParser) parseNumber() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (isIdentByte(p.src[p.pos])) {
+		p.pos++
+	}
+	text := p.src[start:p.pos]
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("asm: bad number %q", text)
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseIdent() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		arg, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("asm: missing ')' after %s(", name)
+		}
+		p.pos++
+		switch strings.ToLower(name) {
+		case "lo8":
+			return arg & 0xFF, nil
+		case "hi8":
+			return arg >> 8 & 0xFF, nil
+		case "pmbyte":
+			// Converts a code word address to the byte address LPM expects.
+			return arg * 2, nil
+		}
+		return 0, fmt.Errorf("asm: unknown function %q", name)
+	}
+	v, ok := p.env.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return v, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,99 @@
+package asm
+
+import "testing"
+
+func evalIn(t *testing.T, expr string, lookup map[string]int64, dot int64) int64 {
+	t.Helper()
+	v, err := evalExpr(expr, exprEnv{
+		dot: dot,
+		lookup: func(name string) (int64, bool) {
+			x, ok := lookup[name]
+			return x, ok
+		},
+	})
+	if err != nil {
+		t.Fatalf("evalExpr(%q): %v", expr, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	tests := []struct {
+		give string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10-4-3", 3},
+		{"100/10/2", 5},
+		{"-5+8", 3},
+		{"0x10+0b101", 21},
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{"lo8(0x1234)", 0x34},
+		{"hi8(0x1234)", 0x12},
+		{"pmbyte(3)", 6},
+		{"lo8(-(0x0102))", 0xFE},
+		{"2*(3+4)-1", 13},
+	}
+	for _, tt := range tests {
+		if got := evalIn(t, tt.give, nil, 0); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestExprSymbolsAndDot(t *testing.T) {
+	syms := map[string]int64{"base": 0x100, ".local": 7}
+	if got := evalIn(t, "base+4", syms, 0); got != 0x104 {
+		t.Errorf("base+4 = %d", got)
+	}
+	if got := evalIn(t, ".local*2", syms, 0); got != 14 {
+		t.Errorf(".local*2 = %d", got)
+	}
+	if got := evalIn(t, ". + 6", syms, 100); got != 106 {
+		t.Errorf(". + 6 = %d", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bads := []string{
+		"", "1+", "(1", "nosuchsym", "frob(1)", "1/0", "lo8(1", "'ab'", "1 2",
+	}
+	for _, e := range bads {
+		if _, err := evalExpr(e, exprEnv{lookup: func(string) (int64, bool) { return 0, false }}); err == nil {
+			t.Errorf("%q: expected error", e)
+		}
+	}
+}
+
+func TestSplitOperandsRespectsNesting(t *testing.T) {
+	got := splitOperands("r24, lo8(a+1), 'x', hi8((b))")
+	want := []string{"r24", "lo8(a+1)", "'x'", "hi8((b))"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %q", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseRegAliases(t *testing.T) {
+	tests := []struct {
+		give string
+		want uint8
+		ok   bool
+	}{
+		{"r0", 0, true}, {"r31", 31, true}, {"R15", 15, true},
+		{"XL", 26, true}, {"ZH", 31, true}, {"YL", 28, true},
+		{"r32", 0, false}, {"rx", 0, false}, {"x1", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := parseReg(tt.give)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("parseReg(%q) = %d,%v want %d,%v", tt.give, got, ok, tt.want, tt.ok)
+		}
+	}
+}

@@ -1,0 +1,584 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/avr"
+)
+
+// instWords returns the size in words of the instruction named mn, for the
+// pass-1 location counter. Operand values are not needed: AVR instruction
+// sizes depend only on the mnemonic in our subset.
+func instWords(mn string, ops []string) (int, error) {
+	spec, ok := mnemonics[mn]
+	if !ok {
+		return 0, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	if spec.operands >= 0 && len(ops) != spec.operands {
+		return 0, fmt.Errorf("%s takes %d operand(s), got %d", mn, spec.operands, len(ops))
+	}
+	return spec.words, nil
+}
+
+// encodeInst encodes one pass-2 instruction statement.
+func (a *assembler) encodeInst(st stmt) (avr.Inst, error) {
+	spec := mnemonics[st.mnemonic]
+	in, err := spec.build(a, st)
+	if err != nil {
+		return avr.Inst{}, a.errf(st.line, "%s: %v", st.mnemonic, err)
+	}
+	return in, nil
+}
+
+type mnSpec struct {
+	words    int
+	operands int // -1: variable
+	build    func(a *assembler, st stmt) (avr.Inst, error)
+}
+
+// reg parses operand i as a register.
+func reg(st stmt, i int) (uint8, error) {
+	r, ok := parseReg(st.operands[i])
+	if !ok {
+		return 0, fmt.Errorf("operand %d: %q is not a register", i+1, st.operands[i])
+	}
+	return r, nil
+}
+
+// value evaluates operand i as a constant expression.
+func (a *assembler) value(st stmt, i int) (int64, error) {
+	return a.eval(st.operands[i], int64(st.addr)*2)
+}
+
+// target evaluates operand i as a code address. Expressions that use "."
+// yield byte addresses (GNU-as convention) and are halved; plain labels and
+// numbers are word addresses already.
+func (a *assembler) target(st stmt, i int) (int64, error) {
+	expr := strings.TrimSpace(st.operands[i])
+	usesDot := exprUsesDot(expr)
+	v, err := a.eval(expr, int64(st.addr)*2)
+	if err != nil {
+		return 0, err
+	}
+	if usesDot {
+		if v%2 != 0 {
+			return 0, fmt.Errorf("odd byte target %d", v)
+		}
+		v /= 2
+	}
+	return v, nil
+}
+
+// exprUsesDot reports whether the expression references the "." location
+// symbol (as opposed to a dot-prefixed local label like ".loop").
+func exprUsesDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			continue
+		}
+		next := byte(0)
+		if i+1 < len(s) {
+			next = s[i+1]
+		}
+		if !isIdentByte(next) {
+			return true
+		}
+		// Skip the rest of this identifier.
+		for i+1 < len(s) && isIdentByte(s[i+1]) {
+			i++
+		}
+	}
+	return false
+}
+
+func rrBuilder(op avr.Op) mnSpec {
+	return mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		r, err := reg(st, 1)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: d, Src: r}, nil
+	}}
+}
+
+func riBuilder(op avr.Op) mnSpec {
+	return mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		v, err := a.value(st, 1)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		if v < -128 || v > 255 {
+			return avr.Inst{}, fmt.Errorf("immediate %d out of byte range", v)
+		}
+		return avr.Inst{Op: op, Dst: d, Imm: int64ToImm8(v)}, nil
+	}}
+}
+
+func int64ToImm8(v int64) int32 { return int32(uint8(v)) }
+
+func r1Builder(op avr.Op) mnSpec {
+	return mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: d}, nil
+	}}
+}
+
+// rrAlias builds ops like "lsl r5" = ADD r5, r5.
+func rrAlias(op avr.Op) mnSpec {
+	return mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: d, Src: d}, nil
+	}}
+}
+
+func wImmBuilder(op avr.Op) mnSpec {
+	return mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		v, err := a.value(st, 1)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: d, Imm: int32(v)}, nil
+	}}
+}
+
+func flagBuilder(op avr.Op, bit uint8) mnSpec {
+	return mnSpec{1, 0, func(a *assembler, st stmt) (avr.Inst, error) {
+		return avr.Inst{Op: op, Dst: bit}, nil
+	}}
+}
+
+func impliedBuilder(op avr.Op) mnSpec {
+	return mnSpec{op.Words(), 0, func(a *assembler, st stmt) (avr.Inst, error) {
+		return avr.Inst{Op: op}, nil
+	}}
+}
+
+func relBuilder(op avr.Op, bits int) mnSpec {
+	return mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		t, err := a.target(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		disp := t - int64(st.addr) - 1
+		limit := int64(1) << (bits - 1)
+		if disp < -limit || disp >= limit {
+			return avr.Inst{}, fmt.Errorf("target out of %d-bit range (disp %d words)", bits, disp)
+		}
+		return avr.Inst{Op: op, Imm: int32(disp)}, nil
+	}}
+}
+
+func brBuilder(op avr.Op, bit uint8) mnSpec {
+	rel := relBuilder(op, 7)
+	return mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		in, err := rel.build(a, st)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		in.Src = bit
+		return in, nil
+	}}
+}
+
+func absBuilder(op avr.Op) mnSpec {
+	return mnSpec{2, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		t, err := a.target(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Imm: int32(t)}, nil
+	}}
+}
+
+func skipRegBuilder(op avr.Op) mnSpec {
+	return mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		b, err := a.value(st, 1)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: d, Imm: int32(b)}, nil
+	}}
+}
+
+func ioBitBuilder(op avr.Op) mnSpec {
+	return mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+		addr, err := a.value(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		b, err := a.value(st, 1)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		if addr < 0 || addr > 31 {
+			return avr.Inst{}, fmt.Errorf("I/O address %#x not bit-addressable (0..31)", addr)
+		}
+		return avr.Inst{Op: op, Dst: uint8(addr), Imm: int32(b)}, nil
+	}}
+}
+
+// pointerOperand recognizes the X/Y/Z pointer syntaxes for ld/st/ldd/std.
+type pointerOperand struct {
+	reg  uint8 // avr.RegX/Y/Z
+	mode byte  // ' ' plain, '+' post-inc, '-' pre-dec, 'q' displacement
+	disp string
+}
+
+func parsePointer(s string) (pointerOperand, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return pointerOperand{}, false
+	}
+	up := strings.ToUpper(s)
+	letter := func(c byte) (uint8, bool) {
+		switch c {
+		case 'X':
+			return avr.RegX, true
+		case 'Y':
+			return avr.RegY, true
+		case 'Z':
+			return avr.RegZ, true
+		}
+		return 0, false
+	}
+	if r, ok := letter(up[0]); ok {
+		rest := strings.TrimSpace(up[1:])
+		switch {
+		case rest == "":
+			return pointerOperand{reg: r, mode: ' '}, true
+		case rest == "+":
+			return pointerOperand{reg: r, mode: '+'}, true
+		case strings.HasPrefix(rest, "+"):
+			return pointerOperand{reg: r, mode: 'q', disp: strings.TrimSpace(s[strings.Index(s, "+")+1:])}, true
+		}
+	}
+	if up[0] == '-' {
+		if r, ok := letter(up[len(up)-1]); ok && strings.TrimSpace(up[1:len(up)-1]) == "" {
+			return pointerOperand{reg: r, mode: '-'}, true
+		}
+	}
+	return pointerOperand{}, false
+}
+
+// ldStOp maps (pointer reg, mode, isStore) to the concrete Op.
+func ldStOp(p pointerOperand, store bool) (avr.Op, error) {
+	type key struct {
+		reg   uint8
+		mode  byte
+		store bool
+	}
+	table := map[key]avr.Op{
+		{avr.RegX, ' ', false}: avr.OpLdX,
+		{avr.RegX, '+', false}: avr.OpLdXInc,
+		{avr.RegX, '-', false}: avr.OpLdXDec,
+		{avr.RegY, '+', false}: avr.OpLdYInc,
+		{avr.RegY, '-', false}: avr.OpLdYDec,
+		{avr.RegY, ' ', false}: avr.OpLddY, // LD Rd,Y == LDD Rd,Y+0
+		{avr.RegY, 'q', false}: avr.OpLddY,
+		{avr.RegZ, '+', false}: avr.OpLdZInc,
+		{avr.RegZ, '-', false}: avr.OpLdZDec,
+		{avr.RegZ, ' ', false}: avr.OpLddZ,
+		{avr.RegZ, 'q', false}: avr.OpLddZ,
+		{avr.RegX, ' ', true}:  avr.OpStX,
+		{avr.RegX, '+', true}:  avr.OpStXInc,
+		{avr.RegX, '-', true}:  avr.OpStXDec,
+		{avr.RegY, '+', true}:  avr.OpStYInc,
+		{avr.RegY, '-', true}:  avr.OpStYDec,
+		{avr.RegY, ' ', true}:  avr.OpStdY,
+		{avr.RegY, 'q', true}:  avr.OpStdY,
+		{avr.RegZ, '+', true}:  avr.OpStZInc,
+		{avr.RegZ, '-', true}:  avr.OpStZDec,
+		{avr.RegZ, ' ', true}:  avr.OpStdZ,
+		{avr.RegZ, 'q', true}:  avr.OpStdZ,
+	}
+	op, ok := table[key{p.reg, p.mode, store}]
+	if !ok {
+		return avr.OpInvalid, fmt.Errorf("unsupported pointer addressing mode")
+	}
+	return op, nil
+}
+
+var ldSpec = mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	d, err := reg(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	p, ok := parsePointer(st.operands[1])
+	if !ok {
+		return avr.Inst{}, fmt.Errorf("bad pointer operand %q", st.operands[1])
+	}
+	op, err := ldStOp(p, false)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	in := avr.Inst{Op: op, Dst: d}
+	if p.mode == 'q' {
+		q, err := a.eval(p.disp, int64(st.addr)*2)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		in.Imm = int32(q)
+	}
+	return in, nil
+}}
+
+var lddSpec = ldSpec // ldd is ld with a displacement pointer
+
+var stSpec = mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	p, ok := parsePointer(st.operands[0])
+	if !ok {
+		return avr.Inst{}, fmt.Errorf("bad pointer operand %q", st.operands[0])
+	}
+	r, err := reg(st, 1)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	op, err := ldStOp(p, true)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	in := avr.Inst{Op: op, Dst: r}
+	if p.mode == 'q' {
+		q, err := a.eval(p.disp, int64(st.addr)*2)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		in.Imm = int32(q)
+	}
+	return in, nil
+}}
+
+var ldsSpec = mnSpec{2, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	d, err := reg(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	addr, err := a.value(st, 1)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpLds, Dst: d, Imm: int32(addr)}, nil
+}}
+
+var stsSpec = mnSpec{2, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	addr, err := a.value(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	r, err := reg(st, 1)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpSts, Dst: r, Imm: int32(addr)}, nil
+}}
+
+var lpmSpec = mnSpec{1, -1, func(a *assembler, st stmt) (avr.Inst, error) {
+	switch len(st.operands) {
+	case 0:
+		return avr.Inst{Op: avr.OpLpm}, nil
+	case 2:
+		d, err := reg(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		p, ok := parsePointer(st.operands[1])
+		if !ok || p.reg != avr.RegZ || (p.mode != ' ' && p.mode != '+') {
+			return avr.Inst{}, fmt.Errorf("lpm needs Z or Z+")
+		}
+		if p.mode == '+' {
+			return avr.Inst{Op: avr.OpLpmZInc, Dst: d}, nil
+		}
+		return avr.Inst{Op: avr.OpLpmZ, Dst: d}, nil
+	}
+	return avr.Inst{}, fmt.Errorf("lpm takes 0 or 2 operands")
+}}
+
+var inSpec = mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	d, err := reg(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	addr, err := a.value(st, 1)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpIn, Dst: d, Imm: int32(addr)}, nil
+}}
+
+var outSpec = mnSpec{1, 2, func(a *assembler, st stmt) (avr.Inst, error) {
+	addr, err := a.value(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	r, err := reg(st, 1)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpOut, Dst: r, Imm: int32(addr)}, nil
+}}
+
+var serSpec = mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+	d, err := reg(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpLdi, Dst: d, Imm: 0xFF}, nil
+}}
+
+var ktrapSpec = mnSpec{2, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+	v, err := a.value(st, 0)
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	return avr.Inst{Op: avr.OpKtrap, Imm: int32(v)}, nil
+}}
+
+// mnemonics is the master mnemonic table.
+var mnemonics = map[string]mnSpec{
+	"nop":   impliedBuilder(avr.OpNop),
+	"sleep": impliedBuilder(avr.OpSleep),
+	"wdr":   impliedBuilder(avr.OpWdr),
+	"break": impliedBuilder(avr.OpBreak),
+	"ijmp":  impliedBuilder(avr.OpIjmp),
+	"icall": impliedBuilder(avr.OpIcall),
+	"ret":   impliedBuilder(avr.OpRet),
+	"reti":  impliedBuilder(avr.OpReti),
+
+	"add":  rrBuilder(avr.OpAdd),
+	"adc":  rrBuilder(avr.OpAdc),
+	"sub":  rrBuilder(avr.OpSub),
+	"sbc":  rrBuilder(avr.OpSbc),
+	"and":  rrBuilder(avr.OpAnd),
+	"or":   rrBuilder(avr.OpOr),
+	"eor":  rrBuilder(avr.OpEor),
+	"mov":  rrBuilder(avr.OpMov),
+	"cp":   rrBuilder(avr.OpCp),
+	"cpc":  rrBuilder(avr.OpCpc),
+	"cpse": rrBuilder(avr.OpCpse),
+	"mul":  rrBuilder(avr.OpMul),
+	"movw": rrBuilder(avr.OpMovw),
+
+	"subi": riBuilder(avr.OpSubi),
+	"sbci": riBuilder(avr.OpSbci),
+	"andi": riBuilder(avr.OpAndi),
+	"ori":  riBuilder(avr.OpOri),
+	"cpi":  riBuilder(avr.OpCpi),
+	"ldi":  riBuilder(avr.OpLdi),
+
+	"com":  r1Builder(avr.OpCom),
+	"neg":  r1Builder(avr.OpNeg),
+	"swap": r1Builder(avr.OpSwap),
+	"inc":  r1Builder(avr.OpInc),
+	"dec":  r1Builder(avr.OpDec),
+	"asr":  r1Builder(avr.OpAsr),
+	"lsr":  r1Builder(avr.OpLsr),
+	"ror":  r1Builder(avr.OpRor),
+	"push": r1Builder(avr.OpPush),
+	"pop":  r1Builder(avr.OpPop),
+
+	"lsl": rrAlias(avr.OpAdd),
+	"rol": rrAlias(avr.OpAdc),
+	"tst": rrAlias(avr.OpAnd),
+	"clr": rrAlias(avr.OpEor),
+	"ser": serSpec,
+
+	"adiw": wImmBuilder(avr.OpAdiw),
+	"sbiw": wImmBuilder(avr.OpSbiw),
+
+	"bset": skipImmFlag(avr.OpBset),
+	"bclr": skipImmFlag(avr.OpBclr),
+	"sec":  flagBuilder(avr.OpBset, avr.FlagC),
+	"sez":  flagBuilder(avr.OpBset, avr.FlagZ),
+	"sen":  flagBuilder(avr.OpBset, avr.FlagN),
+	"sev":  flagBuilder(avr.OpBset, avr.FlagV),
+	"ses":  flagBuilder(avr.OpBset, avr.FlagS),
+	"seh":  flagBuilder(avr.OpBset, avr.FlagH),
+	"set":  flagBuilder(avr.OpBset, avr.FlagT),
+	"sei":  flagBuilder(avr.OpBset, avr.FlagI),
+	"clc":  flagBuilder(avr.OpBclr, avr.FlagC),
+	"clz":  flagBuilder(avr.OpBclr, avr.FlagZ),
+	"cln":  flagBuilder(avr.OpBclr, avr.FlagN),
+	"clv":  flagBuilder(avr.OpBclr, avr.FlagV),
+	"cls":  flagBuilder(avr.OpBclr, avr.FlagS),
+	"clh":  flagBuilder(avr.OpBclr, avr.FlagH),
+	"clt":  flagBuilder(avr.OpBclr, avr.FlagT),
+	"cli":  flagBuilder(avr.OpBclr, avr.FlagI),
+
+	"rjmp":  relBuilder(avr.OpRjmp, 12),
+	"rcall": relBuilder(avr.OpRcall, 12),
+	"jmp":   absBuilder(avr.OpJmp),
+	"call":  absBuilder(avr.OpCall),
+
+	"brcs": brBuilder(avr.OpBrbs, avr.FlagC),
+	"brlo": brBuilder(avr.OpBrbs, avr.FlagC),
+	"breq": brBuilder(avr.OpBrbs, avr.FlagZ),
+	"brmi": brBuilder(avr.OpBrbs, avr.FlagN),
+	"brvs": brBuilder(avr.OpBrbs, avr.FlagV),
+	"brlt": brBuilder(avr.OpBrbs, avr.FlagS),
+	"brhs": brBuilder(avr.OpBrbs, avr.FlagH),
+	"brts": brBuilder(avr.OpBrbs, avr.FlagT),
+	"brie": brBuilder(avr.OpBrbs, avr.FlagI),
+	"brcc": brBuilder(avr.OpBrbc, avr.FlagC),
+	"brsh": brBuilder(avr.OpBrbc, avr.FlagC),
+	"brne": brBuilder(avr.OpBrbc, avr.FlagZ),
+	"brpl": brBuilder(avr.OpBrbc, avr.FlagN),
+	"brvc": brBuilder(avr.OpBrbc, avr.FlagV),
+	"brge": brBuilder(avr.OpBrbc, avr.FlagS),
+	"brhc": brBuilder(avr.OpBrbc, avr.FlagH),
+	"brtc": brBuilder(avr.OpBrbc, avr.FlagT),
+	"brid": brBuilder(avr.OpBrbc, avr.FlagI),
+
+	"sbrc": skipRegBuilder(avr.OpSbrc),
+	"sbrs": skipRegBuilder(avr.OpSbrs),
+	"sbic": ioBitBuilder(avr.OpSbic),
+	"sbis": ioBitBuilder(avr.OpSbis),
+	"sbi":  ioBitBuilder(avr.OpSbi),
+	"cbi":  ioBitBuilder(avr.OpCbi),
+
+	"in":  inSpec,
+	"out": outSpec,
+
+	"ld":  ldSpec,
+	"ldd": lddSpec,
+	"st":  stSpec,
+	"std": stSpec,
+	"lds": ldsSpec,
+	"sts": stsSpec,
+	"lpm": lpmSpec,
+
+	"ktrap": ktrapSpec,
+}
+
+// skipImmFlag builds BSET/BCLR with an explicit bit-number operand.
+func skipImmFlag(op avr.Op) mnSpec {
+	return mnSpec{1, 1, func(a *assembler, st stmt) (avr.Inst, error) {
+		v, err := a.value(st, 0)
+		if err != nil {
+			return avr.Inst{}, err
+		}
+		return avr.Inst{Op: op, Dst: uint8(v)}, nil
+	}}
+}

@@ -1,0 +1,297 @@
+package avr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a 32-bit instruction's second word is missing.
+var ErrTruncated = errors.New("avr: truncated 32-bit instruction")
+
+// ErrUnknownInst is returned for bit patterns outside the supported subset.
+var ErrUnknownInst = errors.New("avr: unknown instruction")
+
+// Decode decodes the instruction starting at words[0]. For 32-bit
+// instructions words[1] must be present. It returns the decoded instruction;
+// in.Words() tells the caller how far to advance.
+func Decode(words []uint16) (Inst, error) {
+	if len(words) == 0 {
+		return Inst{}, ErrTruncated
+	}
+	w := words[0]
+
+	second := func() (uint16, error) {
+		if len(words) < 2 {
+			return 0, ErrTruncated
+		}
+		return words[1], nil
+	}
+
+	switch w >> 12 {
+	case 0x0:
+		switch {
+		case w == 0x0000:
+			return Inst{Op: OpNop}, nil
+		case w&0xFF00 == 0x0100:
+			return Inst{Op: OpMovw, Dst: uint8(w>>4&0xF) * 2, Src: uint8(w&0xF) * 2}, nil
+		case w&0xFC00 == 0x0400:
+			return decodeRR(OpCpc, w), nil
+		case w&0xFC00 == 0x0800:
+			return decodeRR(OpSbc, w), nil
+		case w&0xFC00 == 0x0C00:
+			return decodeRR(OpAdd, w), nil
+		}
+	case 0x1:
+		switch w & 0xFC00 {
+		case 0x1000:
+			return decodeRR(OpCpse, w), nil
+		case 0x1400:
+			return decodeRR(OpCp, w), nil
+		case 0x1800:
+			return decodeRR(OpSub, w), nil
+		case 0x1C00:
+			return decodeRR(OpAdc, w), nil
+		}
+	case 0x2:
+		switch w & 0xFC00 {
+		case 0x2000:
+			return decodeRR(OpAnd, w), nil
+		case 0x2400:
+			return decodeRR(OpEor, w), nil
+		case 0x2800:
+			return decodeRR(OpOr, w), nil
+		case 0x2C00:
+			return decodeRR(OpMov, w), nil
+		}
+	case 0x3:
+		return decodeRI(OpCpi, w), nil
+	case 0x4:
+		return decodeRI(OpSbci, w), nil
+	case 0x5:
+		return decodeRI(OpSubi, w), nil
+	case 0x6:
+		return decodeRI(OpOri, w), nil
+	case 0x7:
+		return decodeRI(OpAndi, w), nil
+	case 0x8, 0xA:
+		return decodeDisp(w), nil
+	case 0x9:
+		return decode9(w, second)
+	case 0xB:
+		a := int32(w&0xF) | int32(w>>5&0x30)
+		d := uint8(w >> 4 & 0x1F)
+		if w&0x0800 == 0 {
+			return Inst{Op: OpIn, Dst: d, Imm: a}, nil
+		}
+		return Inst{Op: OpOut, Dst: d, Imm: a}, nil
+	case 0xC:
+		return Inst{Op: OpRjmp, Imm: signExtend(int32(w&0x0FFF), 12)}, nil
+	case 0xD:
+		return Inst{Op: OpRcall, Imm: signExtend(int32(w&0x0FFF), 12)}, nil
+	case 0xE:
+		return decodeRI(OpLdi, w), nil
+	case 0xF:
+		switch {
+		case w&0xFC00 == 0xF000:
+			return Inst{Op: OpBrbs, Src: uint8(w & 7), Imm: signExtend(int32(w>>3&0x7F), 7)}, nil
+		case w&0xFC00 == 0xF400:
+			return Inst{Op: OpBrbc, Src: uint8(w & 7), Imm: signExtend(int32(w>>3&0x7F), 7)}, nil
+		case w&0xFE08 == 0xFC00:
+			return Inst{Op: OpSbrc, Dst: uint8(w >> 4 & 0x1F), Imm: int32(w & 7)}, nil
+		case w&0xFE08 == 0xFE00:
+			return Inst{Op: OpSbrs, Dst: uint8(w >> 4 & 0x1F), Imm: int32(w & 7)}, nil
+		}
+	}
+	return Inst{}, fmt.Errorf("%w: %#04x", ErrUnknownInst, w)
+}
+
+func decode9(w uint16, second func() (uint16, error)) (Inst, error) {
+	switch {
+	case w&0xFE0F == 0x9000: // LDS
+		addr, err := second()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpLds, Dst: uint8(w >> 4 & 0x1F), Imm: int32(addr)}, nil
+	case w&0xFE0F == 0x9200: // STS
+		addr, err := second()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSts, Dst: uint8(w >> 4 & 0x1F), Imm: int32(addr)}, nil
+	case w == 0x9598: // BREAK / KTRAP
+		id, err := second()
+		if err != nil {
+			// A bare BREAK at the very end of flash decodes as BREAK.
+			return Inst{Op: OpBreak}, nil
+		}
+		return Inst{Op: OpKtrap, Imm: int32(id)}, nil
+	case w == 0x9409:
+		return Inst{Op: OpIjmp}, nil
+	case w == 0x9509:
+		return Inst{Op: OpIcall}, nil
+	case w == 0x9508:
+		return Inst{Op: OpRet}, nil
+	case w == 0x9518:
+		return Inst{Op: OpReti}, nil
+	case w == 0x9588:
+		return Inst{Op: OpSleep}, nil
+	case w == 0x95A8:
+		return Inst{Op: OpWdr}, nil
+	case w == 0x95C8:
+		return Inst{Op: OpLpm}, nil
+	case w&0xFF8F == 0x9408:
+		return Inst{Op: OpBset, Dst: uint8(w >> 4 & 7)}, nil
+	case w&0xFF8F == 0x9488:
+		return Inst{Op: OpBclr, Dst: uint8(w >> 4 & 7)}, nil
+	case w&0xFE0E == 0x940C: // JMP
+		lo, err := second()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJmp, Imm: jmpTarget(w, lo)}, nil
+	case w&0xFE0E == 0x940E: // CALL
+		lo, err := second()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCall, Imm: jmpTarget(w, lo)}, nil
+	case w&0xFE00 == 0x9400: // one-register ALU
+		d := uint8(w >> 4 & 0x1F)
+		switch w & 0xF {
+		case 0x0:
+			return Inst{Op: OpCom, Dst: d}, nil
+		case 0x1:
+			return Inst{Op: OpNeg, Dst: d}, nil
+		case 0x2:
+			return Inst{Op: OpSwap, Dst: d}, nil
+		case 0x3:
+			return Inst{Op: OpInc, Dst: d}, nil
+		case 0x5:
+			return Inst{Op: OpAsr, Dst: d}, nil
+		case 0x6:
+			return Inst{Op: OpLsr, Dst: d}, nil
+		case 0x7:
+			return Inst{Op: OpRor, Dst: d}, nil
+		case 0xA:
+			return Inst{Op: OpDec, Dst: d}, nil
+		}
+	case w&0xFF00 == 0x9600:
+		return decodeWImm(OpAdiw, w), nil
+	case w&0xFF00 == 0x9700:
+		return decodeWImm(OpSbiw, w), nil
+	case w&0xFF00 == 0x9800:
+		return Inst{Op: OpCbi, Dst: uint8(w >> 3 & 0x1F), Imm: int32(w & 7)}, nil
+	case w&0xFF00 == 0x9900:
+		return Inst{Op: OpSbic, Dst: uint8(w >> 3 & 0x1F), Imm: int32(w & 7)}, nil
+	case w&0xFF00 == 0x9A00:
+		return Inst{Op: OpSbi, Dst: uint8(w >> 3 & 0x1F), Imm: int32(w & 7)}, nil
+	case w&0xFF00 == 0x9B00:
+		return Inst{Op: OpSbis, Dst: uint8(w >> 3 & 0x1F), Imm: int32(w & 7)}, nil
+	case w&0xFC00 == 0x9C00:
+		return decodeRR(OpMul, w), nil
+	case w&0xFE00 == 0x9000 || w&0xFE00 == 0x9200:
+		return decodeLdSt(w)
+	}
+	return Inst{}, fmt.Errorf("%w: %#04x", ErrUnknownInst, w)
+}
+
+func decodeLdSt(w uint16) (Inst, error) {
+	d := uint8(w >> 4 & 0x1F)
+	load := w&0x0200 == 0
+	low := w & 0xF
+	if load {
+		switch low {
+		case 0x1:
+			return Inst{Op: OpLdZInc, Dst: d}, nil
+		case 0x2:
+			return Inst{Op: OpLdZDec, Dst: d}, nil
+		case 0x4:
+			return Inst{Op: OpLpmZ, Dst: d}, nil
+		case 0x5:
+			return Inst{Op: OpLpmZInc, Dst: d}, nil
+		case 0x9:
+			return Inst{Op: OpLdYInc, Dst: d}, nil
+		case 0xA:
+			return Inst{Op: OpLdYDec, Dst: d}, nil
+		case 0xC:
+			return Inst{Op: OpLdX, Dst: d}, nil
+		case 0xD:
+			return Inst{Op: OpLdXInc, Dst: d}, nil
+		case 0xE:
+			return Inst{Op: OpLdXDec, Dst: d}, nil
+		case 0xF:
+			return Inst{Op: OpPop, Dst: d}, nil
+		}
+	} else {
+		switch low {
+		case 0x1:
+			return Inst{Op: OpStZInc, Dst: d}, nil
+		case 0x2:
+			return Inst{Op: OpStZDec, Dst: d}, nil
+		case 0x9:
+			return Inst{Op: OpStYInc, Dst: d}, nil
+		case 0xA:
+			return Inst{Op: OpStYDec, Dst: d}, nil
+		case 0xC:
+			return Inst{Op: OpStX, Dst: d}, nil
+		case 0xD:
+			return Inst{Op: OpStXInc, Dst: d}, nil
+		case 0xE:
+			return Inst{Op: OpStXDec, Dst: d}, nil
+		case 0xF:
+			return Inst{Op: OpPush, Dst: d}, nil
+		}
+	}
+	return Inst{}, fmt.Errorf("%w: %#04x", ErrUnknownInst, w)
+}
+
+func decodeDisp(w uint16) Inst {
+	q := int32(w&7) | int32(w>>7&0x18) | int32(w>>8&0x20)
+	d := uint8(w >> 4 & 0x1F)
+	store := w&0x0200 != 0
+	y := w&0x0008 != 0
+	switch {
+	case store && y:
+		return Inst{Op: OpStdY, Dst: d, Imm: q}
+	case store:
+		return Inst{Op: OpStdZ, Dst: d, Imm: q}
+	case y:
+		return Inst{Op: OpLddY, Dst: d, Imm: q}
+	default:
+		return Inst{Op: OpLddZ, Dst: d, Imm: q}
+	}
+}
+
+func decodeRR(op Op, w uint16) Inst {
+	return Inst{
+		Op:  op,
+		Dst: uint8(w >> 4 & 0x1F),
+		Src: uint8(w&0xF) | uint8(w>>5&0x10),
+	}
+}
+
+func decodeRI(op Op, w uint16) Inst {
+	return Inst{
+		Op:  op,
+		Dst: 16 + uint8(w>>4&0xF),
+		Imm: int32(w&0xF) | int32(w>>4&0xF0),
+	}
+}
+
+func decodeWImm(op Op, w uint16) Inst {
+	return Inst{
+		Op:  op,
+		Dst: 24 + uint8(w>>4&0x3)*2,
+		Imm: int32(w&0xF) | int32(w>>2&0x30),
+	}
+}
+
+func jmpTarget(hi, lo uint16) int32 {
+	return int32(hi>>4&0x1F)<<17 | int32(hi&1)<<16 | int32(lo)
+}
+
+func signExtend(v int32, bits uint) int32 {
+	shift := 32 - bits
+	return v << shift >> shift
+}

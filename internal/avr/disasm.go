@@ -1,0 +1,135 @@
+package avr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// branchAliases maps (op, SREG bit) to the conventional conditional-branch
+// mnemonic, e.g. BRBS with bit Z prints as "breq".
+var branchAliases = map[[2]uint8]string{
+	{uint8(OpBrbs), FlagC}: "brcs",
+	{uint8(OpBrbs), FlagZ}: "breq",
+	{uint8(OpBrbs), FlagN}: "brmi",
+	{uint8(OpBrbs), FlagV}: "brvs",
+	{uint8(OpBrbs), FlagS}: "brlt",
+	{uint8(OpBrbs), FlagH}: "brhs",
+	{uint8(OpBrbs), FlagT}: "brts",
+	{uint8(OpBrbs), FlagI}: "brie",
+	{uint8(OpBrbc), FlagC}: "brcc",
+	{uint8(OpBrbc), FlagZ}: "brne",
+	{uint8(OpBrbc), FlagN}: "brpl",
+	{uint8(OpBrbc), FlagV}: "brvc",
+	{uint8(OpBrbc), FlagS}: "brge",
+	{uint8(OpBrbc), FlagH}: "brhc",
+	{uint8(OpBrbc), FlagT}: "brtc",
+	{uint8(OpBrbc), FlagI}: "brid",
+}
+
+// Disasm renders in as assembly text in the syntax accepted by the
+// internal/avr/asm assembler.
+func Disasm(in Inst) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case OpNop, OpSleep, OpWdr, OpBreak, OpIjmp, OpIcall, OpRet, OpReti:
+		return in.Op.String()
+	case OpLpm:
+		return "lpm"
+	case OpLpmZ:
+		return fmt.Sprintf("lpm %s, Z", r(in.Dst))
+	case OpLpmZInc:
+		return fmt.Sprintf("lpm %s, Z+", r(in.Dst))
+	case OpAdd, OpAdc, OpSub, OpSbc, OpAnd, OpOr, OpEor, OpMov, OpCp, OpCpc,
+		OpCpse, OpMul, OpMovw:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Dst), r(in.Src))
+	case OpSubi, OpSbci, OpAndi, OpOri, OpCpi, OpLdi:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Dst), in.Imm)
+	case OpCom, OpNeg, OpSwap, OpInc, OpDec, OpAsr, OpLsr, OpRor, OpPush,
+		OpPop:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Dst))
+	case OpAdiw, OpSbiw:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Dst), in.Imm)
+	case OpBset, OpBclr:
+		return fmt.Sprintf("%s %d", in.Op, in.Dst)
+	case OpRjmp, OpRcall:
+		// GNU as convention: "." is the byte address of this instruction, so
+		// "rjmp ." (offset +0) encodes displacement -1.
+		return fmt.Sprintf("%s .%+d", in.Op, (in.Imm+1)*2)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %#x", in.Op, in.Imm)
+	case OpBrbs, OpBrbc:
+		if alias, ok := branchAliases[[2]uint8{uint8(in.Op), in.Src}]; ok {
+			return fmt.Sprintf("%s .%+d", alias, (in.Imm+1)*2)
+		}
+		return fmt.Sprintf("%s %d, .%+d", in.Op, in.Src, (in.Imm+1)*2)
+	case OpSbrc, OpSbrs:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Dst), in.Imm)
+	case OpSbi, OpCbi, OpSbic, OpSbis:
+		return fmt.Sprintf("%s %#x, %d", in.Op, in.Dst, in.Imm)
+	case OpIn:
+		return fmt.Sprintf("in %s, %#x", r(in.Dst), in.Imm)
+	case OpOut:
+		return fmt.Sprintf("out %#x, %s", in.Imm, r(in.Dst))
+	case OpLds:
+		return fmt.Sprintf("lds %s, %#x", r(in.Dst), in.Imm)
+	case OpSts:
+		return fmt.Sprintf("sts %#x, %s", in.Imm, r(in.Dst))
+	case OpLdX:
+		return fmt.Sprintf("ld %s, X", r(in.Dst))
+	case OpLdXInc:
+		return fmt.Sprintf("ld %s, X+", r(in.Dst))
+	case OpLdXDec:
+		return fmt.Sprintf("ld %s, -X", r(in.Dst))
+	case OpLdYInc:
+		return fmt.Sprintf("ld %s, Y+", r(in.Dst))
+	case OpLdYDec:
+		return fmt.Sprintf("ld %s, -Y", r(in.Dst))
+	case OpLdZInc:
+		return fmt.Sprintf("ld %s, Z+", r(in.Dst))
+	case OpLdZDec:
+		return fmt.Sprintf("ld %s, -Z", r(in.Dst))
+	case OpLddY:
+		return fmt.Sprintf("ldd %s, Y+%d", r(in.Dst), in.Imm)
+	case OpLddZ:
+		return fmt.Sprintf("ldd %s, Z+%d", r(in.Dst), in.Imm)
+	case OpStX:
+		return fmt.Sprintf("st X, %s", r(in.Dst))
+	case OpStXInc:
+		return fmt.Sprintf("st X+, %s", r(in.Dst))
+	case OpStXDec:
+		return fmt.Sprintf("st -X, %s", r(in.Dst))
+	case OpStYInc:
+		return fmt.Sprintf("st Y+, %s", r(in.Dst))
+	case OpStYDec:
+		return fmt.Sprintf("st -Y, %s", r(in.Dst))
+	case OpStZInc:
+		return fmt.Sprintf("st Z+, %s", r(in.Dst))
+	case OpStZDec:
+		return fmt.Sprintf("st -Z, %s", r(in.Dst))
+	case OpStdY:
+		return fmt.Sprintf("std Y+%d, %s", in.Imm, r(in.Dst))
+	case OpStdZ:
+		return fmt.Sprintf("std Z+%d, %s", in.Imm, r(in.Dst))
+	case OpKtrap:
+		return fmt.Sprintf("ktrap %d", in.Imm)
+	}
+	return fmt.Sprintf("?%v", in.Op)
+}
+
+// DisasmWords disassembles a whole word slice, one instruction per line,
+// prefixing each line with its word address. Undecodable words are rendered
+// as ".dw 0xNNNN" so the output is always complete.
+func DisasmWords(words []uint16) string {
+	var b strings.Builder
+	for pc := 0; pc < len(words); {
+		in, err := Decode(words[pc:])
+		if err != nil {
+			fmt.Fprintf(&b, "%#06x: .dw %#04x\n", pc, words[pc])
+			pc++
+			continue
+		}
+		fmt.Fprintf(&b, "%#06x: %s\n", pc, Disasm(in))
+		pc += in.Words()
+	}
+	return b.String()
+}

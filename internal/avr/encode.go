@@ -1,0 +1,350 @@
+package avr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoding errors.
+var (
+	ErrBadOperand = errors.New("avr: operand out of range")
+	ErrBadOp      = errors.New("avr: unknown op")
+)
+
+func badOperand(in Inst, reason string) error {
+	return fmt.Errorf("avr: encode %s: %s: %w", in.Op, reason, ErrBadOperand)
+}
+
+// Encode emits the binary encoding of in as one or two 16-bit words in
+// program-memory order (low word first for 32-bit instructions).
+func Encode(in Inst) ([]uint16, error) {
+	switch in.Op {
+	case OpNop:
+		return []uint16{0x0000}, nil
+	case OpSleep:
+		return []uint16{0x9588}, nil
+	case OpWdr:
+		return []uint16{0x95A8}, nil
+	case OpBreak:
+		return []uint16{0x9598}, nil
+	case OpIjmp:
+		return []uint16{0x9409}, nil
+	case OpIcall:
+		return []uint16{0x9509}, nil
+	case OpRet:
+		return []uint16{0x9508}, nil
+	case OpReti:
+		return []uint16{0x9518}, nil
+	case OpLpm:
+		return []uint16{0x95C8}, nil
+
+	case OpAdd, OpAdc, OpSub, OpSbc, OpAnd, OpOr, OpEor, OpMov, OpCp, OpCpc,
+		OpCpse, OpMul:
+		return encodeRR(in)
+
+	case OpMovw:
+		if in.Dst > 30 || in.Src > 30 || in.Dst%2 != 0 || in.Src%2 != 0 {
+			return nil, badOperand(in, "register pairs must be even")
+		}
+		return []uint16{0x0100 | uint16(in.Dst/2)<<4 | uint16(in.Src/2)}, nil
+
+	case OpSubi, OpSbci, OpAndi, OpOri, OpCpi, OpLdi:
+		return encodeRI(in)
+
+	case OpCom, OpNeg, OpSwap, OpInc, OpDec, OpAsr, OpLsr, OpRor:
+		return encodeR1(in)
+
+	case OpAdiw, OpSbiw:
+		return encodeWImm(in)
+
+	case OpBset, OpBclr:
+		if in.Dst > 7 {
+			return nil, badOperand(in, "SREG bit must be 0..7")
+		}
+		base := uint16(0x9408)
+		if in.Op == OpBclr {
+			base = 0x9488
+		}
+		return []uint16{base | uint16(in.Dst)<<4}, nil
+
+	case OpRjmp, OpRcall:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return nil, badOperand(in, "12-bit displacement out of range")
+		}
+		base := uint16(0xC000)
+		if in.Op == OpRcall {
+			base = 0xD000
+		}
+		return []uint16{base | uint16(in.Imm)&0x0FFF}, nil
+
+	case OpJmp, OpCall:
+		if in.Imm < 0 || in.Imm >= 1<<22 {
+			return nil, badOperand(in, "22-bit address out of range")
+		}
+		base := uint16(0x940C)
+		if in.Op == OpCall {
+			base = 0x940E
+		}
+		k := uint32(in.Imm)
+		w1 := base | uint16(k>>17&0x1F)<<4 | uint16(k>>16&1)
+		return []uint16{w1, uint16(k & 0xFFFF)}, nil
+
+	case OpBrbs, OpBrbc:
+		if in.Src > 7 {
+			return nil, badOperand(in, "SREG bit must be 0..7")
+		}
+		if in.Imm < -64 || in.Imm > 63 {
+			return nil, badOperand(in, "7-bit displacement out of range")
+		}
+		base := uint16(0xF000)
+		if in.Op == OpBrbc {
+			base = 0xF400
+		}
+		return []uint16{base | (uint16(in.Imm)&0x7F)<<3 | uint16(in.Src)}, nil
+
+	case OpSbrc, OpSbrs:
+		if in.Dst > 31 || in.Imm < 0 || in.Imm > 7 {
+			return nil, badOperand(in, "register or bit out of range")
+		}
+		base := uint16(0xFC00)
+		if in.Op == OpSbrs {
+			base = 0xFE00
+		}
+		return []uint16{base | uint16(in.Dst)<<4 | uint16(in.Imm)}, nil
+
+	case OpSbi, OpCbi, OpSbic, OpSbis:
+		if in.Dst > 31 || in.Imm < 0 || in.Imm > 7 {
+			return nil, badOperand(in, "I/O address must be 0..31, bit 0..7")
+		}
+		var base uint16
+		switch in.Op {
+		case OpCbi:
+			base = 0x9800
+		case OpSbic:
+			base = 0x9900
+		case OpSbi:
+			base = 0x9A00
+		case OpSbis:
+			base = 0x9B00
+		}
+		return []uint16{base | uint16(in.Dst)<<3 | uint16(in.Imm)}, nil
+
+	case OpIn, OpOut:
+		if in.Dst > 31 || in.Imm < 0 || in.Imm > 63 {
+			return nil, badOperand(in, "I/O address must be 0..63")
+		}
+		a := uint16(in.Imm)
+		base := uint16(0xB000)
+		if in.Op == OpOut {
+			base = 0xB800
+		}
+		return []uint16{base | (a & 0x30 << 5) | uint16(in.Dst)<<4 | (a & 0x0F)}, nil
+
+	case OpLds, OpSts:
+		if in.Dst > 31 || in.Imm < 0 || in.Imm > 0xFFFF {
+			return nil, badOperand(in, "register or 16-bit address out of range")
+		}
+		base := uint16(0x9000)
+		if in.Op == OpSts {
+			base = 0x9200
+		}
+		return []uint16{base | uint16(in.Dst)<<4, uint16(in.Imm)}, nil
+
+	case OpLdX, OpLdXInc, OpLdXDec, OpLdYInc, OpLdYDec, OpLdZInc, OpLdZDec,
+		OpPop, OpLpmZ, OpLpmZInc,
+		OpStX, OpStXInc, OpStXDec, OpStYInc, OpStYDec, OpStZInc, OpStZDec,
+		OpPush:
+		return encodeLdSt(in)
+
+	case OpLddY, OpLddZ, OpStdY, OpStdZ:
+		return encodeDisp(in)
+
+	case OpKtrap:
+		if in.Imm < 0 || in.Imm > 0xFFFF {
+			return nil, badOperand(in, "service id must fit 16 bits")
+		}
+		return []uint16{0x9598, uint16(in.Imm)}, nil
+	}
+	return nil, fmt.Errorf("avr: encode %v: %w", in.Op, ErrBadOp)
+}
+
+// AppendWords encodes in and appends the words to dst, growing it as needed.
+func AppendWords(dst []uint16, in Inst) ([]uint16, error) {
+	w, err := Encode(in)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, w...), nil
+}
+
+func encodeRR(in Inst) ([]uint16, error) {
+	if in.Dst > 31 || in.Src > 31 {
+		return nil, badOperand(in, "registers must be r0..r31")
+	}
+	var base uint16
+	switch in.Op {
+	case OpCpc:
+		base = 0x0400
+	case OpSbc:
+		base = 0x0800
+	case OpAdd:
+		base = 0x0C00
+	case OpCpse:
+		base = 0x1000
+	case OpCp:
+		base = 0x1400
+	case OpSub:
+		base = 0x1800
+	case OpAdc:
+		base = 0x1C00
+	case OpAnd:
+		base = 0x2000
+	case OpEor:
+		base = 0x2400
+	case OpOr:
+		base = 0x2800
+	case OpMov:
+		base = 0x2C00
+	case OpMul:
+		base = 0x9C00
+	}
+	r := uint16(in.Src)
+	return []uint16{base | (r & 0x10 << 5) | uint16(in.Dst)<<4 | (r & 0x0F)}, nil
+}
+
+func encodeRI(in Inst) ([]uint16, error) {
+	if in.Dst < 16 || in.Dst > 31 {
+		return nil, badOperand(in, "immediate ops require r16..r31")
+	}
+	if in.Imm < 0 || in.Imm > 255 {
+		return nil, badOperand(in, "immediate must be 0..255")
+	}
+	var base uint16
+	switch in.Op {
+	case OpCpi:
+		base = 0x3000
+	case OpSbci:
+		base = 0x4000
+	case OpSubi:
+		base = 0x5000
+	case OpOri:
+		base = 0x6000
+	case OpAndi:
+		base = 0x7000
+	case OpLdi:
+		base = 0xE000
+	}
+	k := uint16(in.Imm)
+	return []uint16{base | (k & 0xF0 << 4) | uint16(in.Dst-16)<<4 | (k & 0x0F)}, nil
+}
+
+func encodeR1(in Inst) ([]uint16, error) {
+	if in.Dst > 31 {
+		return nil, badOperand(in, "register must be r0..r31")
+	}
+	var low uint16
+	switch in.Op {
+	case OpCom:
+		low = 0x0
+	case OpNeg:
+		low = 0x1
+	case OpSwap:
+		low = 0x2
+	case OpInc:
+		low = 0x3
+	case OpAsr:
+		low = 0x5
+	case OpLsr:
+		low = 0x6
+	case OpRor:
+		low = 0x7
+	case OpDec:
+		low = 0xA
+	}
+	return []uint16{0x9400 | uint16(in.Dst)<<4 | low}, nil
+}
+
+func encodeWImm(in Inst) ([]uint16, error) {
+	switch in.Dst {
+	case 24, 26, 28, 30:
+	default:
+		return nil, badOperand(in, "word ops require r24/r26/r28/r30")
+	}
+	if in.Imm < 0 || in.Imm > 63 {
+		return nil, badOperand(in, "immediate must be 0..63")
+	}
+	base := uint16(0x9600)
+	if in.Op == OpSbiw {
+		base = 0x9700
+	}
+	k := uint16(in.Imm)
+	dd := uint16(in.Dst-24) / 2
+	return []uint16{base | (k & 0x30 << 2) | dd<<4 | (k & 0x0F)}, nil
+}
+
+func encodeLdSt(in Inst) ([]uint16, error) {
+	if in.Dst > 31 {
+		return nil, badOperand(in, "register must be r0..r31")
+	}
+	var low uint16
+	base := uint16(0x9000) // loads
+	switch in.Op {
+	case OpLdZInc:
+		low = 0x1
+	case OpLdZDec:
+		low = 0x2
+	case OpLpmZ:
+		low = 0x4
+	case OpLpmZInc:
+		low = 0x5
+	case OpLdYInc:
+		low = 0x9
+	case OpLdYDec:
+		low = 0xA
+	case OpLdX:
+		low = 0xC
+	case OpLdXInc:
+		low = 0xD
+	case OpLdXDec:
+		low = 0xE
+	case OpPop:
+		low = 0xF
+	case OpStZInc:
+		base, low = 0x9200, 0x1
+	case OpStZDec:
+		base, low = 0x9200, 0x2
+	case OpStYInc:
+		base, low = 0x9200, 0x9
+	case OpStYDec:
+		base, low = 0x9200, 0xA
+	case OpStX:
+		base, low = 0x9200, 0xC
+	case OpStXInc:
+		base, low = 0x9200, 0xD
+	case OpStXDec:
+		base, low = 0x9200, 0xE
+	case OpPush:
+		base, low = 0x9200, 0xF
+	}
+	return []uint16{base | uint16(in.Dst)<<4 | low}, nil
+}
+
+func encodeDisp(in Inst) ([]uint16, error) {
+	if in.Dst > 31 {
+		return nil, badOperand(in, "register must be r0..r31")
+	}
+	if in.Imm < 0 || in.Imm > 63 {
+		return nil, badOperand(in, "displacement must be 0..63")
+	}
+	q := uint16(in.Imm)
+	w := uint16(0x8000) | (q & 0x20 << 8) | (q & 0x18 << 7) | uint16(in.Dst)<<4 | (q & 0x07)
+	switch in.Op {
+	case OpStdY, OpStdZ:
+		w |= 0x0200
+	}
+	switch in.Op {
+	case OpLddY, OpStdY:
+		w |= 0x0008
+	}
+	return []uint16{w}, nil
+}

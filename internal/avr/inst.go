@@ -1,0 +1,160 @@
+package avr
+
+// Inst is one decoded (or to-be-encoded) instruction. Operand meaning varies
+// by Op:
+//
+//   - Dst: destination register Rd, or the tested register (SBRC/SBRS), or
+//     the I/O address A (SBI/CBI/SBIC/SBIS), or the SREG bit s (BSET/BCLR).
+//   - Src: source register Rr.
+//   - Imm: immediate K, displacement q, I/O address A (IN/OUT), SREG bit s
+//     (BRBS/BRBC), bit number b, 16-bit data address (LDS/STS), word
+//     displacement k (RJMP/RCALL/BRxx, signed, relative to the next
+//     instruction), absolute word address k (JMP/CALL), or the service id
+//     (KTRAP).
+type Inst struct {
+	Op  Op
+	Dst uint8
+	Src uint8
+	Imm int32
+}
+
+// Words returns the encoded size of the instruction in 16-bit words.
+func (in Inst) Words() int { return in.Op.Words() }
+
+// Bytes returns the encoded size of the instruction in bytes.
+func (in Inst) Bytes() int { return 2 * in.Op.Words() }
+
+// IsStore reports whether the instruction writes data memory through a
+// pointer register or absolute address (PUSH excluded: it writes through SP).
+func (in Inst) IsStore() bool {
+	switch in.Op {
+	case OpSts, OpStX, OpStXInc, OpStXDec, OpStYInc, OpStYDec, OpStdY,
+		OpStZInc, OpStZDec, OpStdZ:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory through a pointer
+// register or absolute address (POP excluded: it reads through SP).
+func (in Inst) IsLoad() bool {
+	switch in.Op {
+	case OpLds, OpLdX, OpLdXInc, OpLdXDec, OpLdYInc, OpLdYDec, OpLddY,
+		OpLdZInc, OpLdZDec, OpLddZ:
+		return true
+	}
+	return false
+}
+
+// IsMemAccess reports whether the instruction accesses data memory through a
+// pointer register or an absolute address and therefore needs SenSmart
+// address translation.
+func (in Inst) IsMemAccess() bool { return in.IsLoad() || in.IsStore() }
+
+// IsDirectMem reports whether the access uses a statically known absolute
+// address (LDS/STS), which the base-station rewriter can resolve without a
+// runtime lookup.
+func (in Inst) IsDirectMem() bool { return in.Op == OpLds || in.Op == OpSts }
+
+// PointerReg returns the base pointer register pair (RegX, RegY or RegZ) used
+// by an indirect memory access, and whether the instruction has one.
+func (in Inst) PointerReg() (uint8, bool) {
+	switch in.Op {
+	case OpLdX, OpLdXInc, OpLdXDec, OpStX, OpStXInc, OpStXDec:
+		return RegX, true
+	case OpLdYInc, OpLdYDec, OpLddY, OpStYInc, OpStYDec, OpStdY:
+		return RegY, true
+	case OpLdZInc, OpLdZDec, OpLddZ, OpStZInc, OpStZDec, OpStdZ:
+		return RegZ, true
+	}
+	return 0, false
+}
+
+// PointerMutates reports whether an indirect access pre-decrements or
+// post-increments its pointer register.
+func (in Inst) PointerMutates() bool {
+	switch in.Op {
+	case OpLdXInc, OpLdXDec, OpLdYInc, OpLdYDec, OpLdZInc, OpLdZDec,
+		OpStXInc, OpStXDec, OpStYInc, OpStYDec, OpStZInc, OpStZDec:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a PC-relative conditional or
+// unconditional branch (the class the rewriter patches for software-trap
+// preemption when the displacement is negative).
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case OpRjmp, OpBrbs, OpBrbc:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction pushes a return address.
+func (in Inst) IsCall() bool {
+	switch in.Op {
+	case OpRcall, OpCall, OpIcall:
+		return true
+	}
+	return false
+}
+
+// IsIndirectJump reports whether the instruction's target is computed at run
+// time from Z and therefore needs program-memory address translation.
+func (in Inst) IsIndirectJump() bool { return in.Op == OpIjmp || in.Op == OpIcall }
+
+// IsControlTransfer reports whether the instruction may change PC to
+// something other than the next instruction.
+func (in Inst) IsControlTransfer() bool {
+	switch in.Op {
+	case OpRjmp, OpRcall, OpJmp, OpCall, OpIjmp, OpIcall, OpRet, OpReti,
+		OpBrbs, OpBrbc, OpCpse, OpSbrc, OpSbrs, OpSbic, OpSbis:
+		return true
+	}
+	return false
+}
+
+// IsSkip reports whether the instruction conditionally skips its successor.
+func (in Inst) IsSkip() bool {
+	switch in.Op {
+	case OpCpse, OpSbrc, OpSbrs, OpSbic, OpSbis:
+		return true
+	}
+	return false
+}
+
+// RelTarget returns the branch target word address given the word address of
+// this instruction, for the PC-relative ops (RJMP/RCALL/BRBS/BRBC). The
+// displacement in Imm is relative to the following instruction.
+func (in Inst) RelTarget(pc uint32) uint32 {
+	return uint32(int64(pc) + 1 + int64(in.Imm))
+}
+
+// ReadsSP reports whether the instruction reads SPL or SPH through the I/O
+// space, which SenSmart patches to the get-stack-pointer service.
+func (in Inst) ReadsSP() bool {
+	return in.Op == OpIn && (in.Imm == IOSpl || in.Imm == IOSph)
+}
+
+// WritesSP reports whether the instruction writes SPL or SPH through the I/O
+// space, which SenSmart patches to the set-stack-pointer service.
+func (in Inst) WritesSP() bool {
+	if in.Op == OpOut && (in.Imm == IOSpl || in.Imm == IOSph) {
+		return true
+	}
+	return false
+}
+
+// IOAddr returns the I/O-space address accessed by IN/OUT/SBI/CBI/SBIC/SBIS,
+// and whether the instruction touches I/O space at all.
+func (in Inst) IOAddr() (uint8, bool) {
+	switch in.Op {
+	case OpIn, OpOut:
+		return uint8(in.Imm), true
+	case OpSbi, OpCbi, OpSbic, OpSbis:
+		return in.Dst, true
+	}
+	return 0, false
+}

@@ -1,0 +1,273 @@
+// Package avr defines the AVR instruction-set subset used by SenSmart: the
+// instruction model, genuine ATmega128 binary encodings (16- and 32-bit),
+// a decoder, a disassembler, and per-instruction base cycle counts.
+//
+// The package is a pure ISA description: it knows how instructions look and
+// what class they belong to, but not how to execute them. Execution lives in
+// internal/mcu; patching decisions live in internal/rewriter.
+package avr
+
+import "fmt"
+
+// Op identifies an instruction mnemonic (with addressing mode folded in, so
+// e.g. "LD Rd, X+" and "LD Rd, -X" are distinct Ops).
+type Op uint8
+
+// Instruction mnemonics. The zero value is invalid so that a zeroed Inst is
+// never mistaken for a real instruction.
+const (
+	OpInvalid Op = iota
+
+	// No operation and CPU control.
+	OpNop
+	OpSleep
+	OpWdr
+	OpBreak // reserved debug opcode; SenSmart reuses it as the KTRAP escape
+
+	// Register-register ALU.
+	OpAdd
+	OpAdc
+	OpSub
+	OpSbc
+	OpAnd
+	OpOr
+	OpEor
+	OpMov
+	OpCp
+	OpCpc
+	OpCpse
+	OpMul
+	OpMovw
+
+	// Register-immediate ALU (Rd in r16..r31).
+	OpSubi
+	OpSbci
+	OpAndi
+	OpOri
+	OpCpi
+	OpLdi
+
+	// Single-register ALU.
+	OpCom
+	OpNeg
+	OpSwap
+	OpInc
+	OpDec
+	OpAsr
+	OpLsr
+	OpRor
+
+	// Word immediate (Rd in {r24,r26,r28,r30}).
+	OpAdiw
+	OpSbiw
+
+	// Flag set/clear (SREG bit s).
+	OpBset
+	OpBclr
+
+	// Control flow.
+	OpRjmp
+	OpRcall
+	OpJmp   // 32-bit
+	OpCall  // 32-bit
+	OpIjmp  // jump to Z
+	OpIcall // call Z
+	OpRet
+	OpReti
+	OpBrbs // branch if SREG bit set
+	OpBrbc // branch if SREG bit clear
+	OpSbrc // skip if register bit clear
+	OpSbrs // skip if register bit set
+	OpSbic // skip if I/O bit clear
+	OpSbis // skip if I/O bit set
+
+	// I/O space.
+	OpIn
+	OpOut
+	OpSbi
+	OpCbi
+
+	// Data-memory loads.
+	OpLds // 32-bit
+	OpLdX
+	OpLdXInc
+	OpLdXDec
+	OpLdYInc
+	OpLdYDec
+	OpLddY // LDD Rd, Y+q (q may be 0, i.e. plain LD Rd, Y)
+	OpLdZInc
+	OpLdZDec
+	OpLddZ // LDD Rd, Z+q
+	OpPop
+
+	// Data-memory stores.
+	OpSts // 32-bit
+	OpStX
+	OpStXInc
+	OpStXDec
+	OpStYInc
+	OpStYDec
+	OpStdY
+	OpStZInc
+	OpStZDec
+	OpStdZ
+	OpPush
+
+	// Program-memory loads.
+	OpLpm     // implied R0 <- (Z)
+	OpLpmZ    // LPM Rd, Z
+	OpLpmZInc // LPM Rd, Z+
+
+	// KTRAP is the SenSmart kernel-service escape: the BREAK opcode followed
+	// by a 16-bit service id word. It never appears in application source;
+	// only the rewriter emits it into naturalized images.
+	OpKtrap
+
+	opCount // sentinel
+)
+
+// SREG flag bit positions.
+const (
+	FlagC = 0 // carry
+	FlagZ = 1 // zero
+	FlagN = 2 // negative
+	FlagV = 3 // two's-complement overflow
+	FlagS = 4 // sign (N xor V)
+	FlagH = 5 // half carry
+	FlagT = 6 // bit copy storage
+	FlagI = 7 // global interrupt enable
+)
+
+// Pointer register pairs.
+const (
+	RegX = 26 // X = r27:r26
+	RegY = 28 // Y = r29:r28
+	RegZ = 30 // Z = r31:r30
+)
+
+// I/O-space addresses (as used by IN/OUT, i.e. without the 0x20 data-space
+// offset) of the registers the kernel and rewriter care about.
+const (
+	IOSpl  = 0x3D
+	IOSph  = 0x3E
+	IOSreg = 0x3F
+)
+
+// opInfo holds static metadata for one Op.
+type opInfo struct {
+	name   string
+	words  uint8 // instruction size in 16-bit words
+	cycles uint8 // base cycle count (branch/skip extras are dynamic)
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:     {"nop", 1, 1},
+	OpSleep:   {"sleep", 1, 1},
+	OpWdr:     {"wdr", 1, 1},
+	OpBreak:   {"break", 1, 1},
+	OpAdd:     {"add", 1, 1},
+	OpAdc:     {"adc", 1, 1},
+	OpSub:     {"sub", 1, 1},
+	OpSbc:     {"sbc", 1, 1},
+	OpAnd:     {"and", 1, 1},
+	OpOr:      {"or", 1, 1},
+	OpEor:     {"eor", 1, 1},
+	OpMov:     {"mov", 1, 1},
+	OpCp:      {"cp", 1, 1},
+	OpCpc:     {"cpc", 1, 1},
+	OpCpse:    {"cpse", 1, 1},
+	OpMul:     {"mul", 1, 2},
+	OpMovw:    {"movw", 1, 1},
+	OpSubi:    {"subi", 1, 1},
+	OpSbci:    {"sbci", 1, 1},
+	OpAndi:    {"andi", 1, 1},
+	OpOri:     {"ori", 1, 1},
+	OpCpi:     {"cpi", 1, 1},
+	OpLdi:     {"ldi", 1, 1},
+	OpCom:     {"com", 1, 1},
+	OpNeg:     {"neg", 1, 1},
+	OpSwap:    {"swap", 1, 1},
+	OpInc:     {"inc", 1, 1},
+	OpDec:     {"dec", 1, 1},
+	OpAsr:     {"asr", 1, 1},
+	OpLsr:     {"lsr", 1, 1},
+	OpRor:     {"ror", 1, 1},
+	OpAdiw:    {"adiw", 1, 2},
+	OpSbiw:    {"sbiw", 1, 2},
+	OpBset:    {"bset", 1, 1},
+	OpBclr:    {"bclr", 1, 1},
+	OpRjmp:    {"rjmp", 1, 2},
+	OpRcall:   {"rcall", 1, 3},
+	OpJmp:     {"jmp", 2, 3},
+	OpCall:    {"call", 2, 4},
+	OpIjmp:    {"ijmp", 1, 2},
+	OpIcall:   {"icall", 1, 3},
+	OpRet:     {"ret", 1, 4},
+	OpReti:    {"reti", 1, 4},
+	OpBrbs:    {"brbs", 1, 1},
+	OpBrbc:    {"brbc", 1, 1},
+	OpSbrc:    {"sbrc", 1, 1},
+	OpSbrs:    {"sbrs", 1, 1},
+	OpSbic:    {"sbic", 1, 1},
+	OpSbis:    {"sbis", 1, 1},
+	OpIn:      {"in", 1, 1},
+	OpOut:     {"out", 1, 1},
+	OpSbi:     {"sbi", 1, 2},
+	OpCbi:     {"cbi", 1, 2},
+	OpLds:     {"lds", 2, 2},
+	OpLdX:     {"ld", 1, 2},
+	OpLdXInc:  {"ld", 1, 2},
+	OpLdXDec:  {"ld", 1, 2},
+	OpLdYInc:  {"ld", 1, 2},
+	OpLdYDec:  {"ld", 1, 2},
+	OpLddY:    {"ldd", 1, 2},
+	OpLdZInc:  {"ld", 1, 2},
+	OpLdZDec:  {"ld", 1, 2},
+	OpLddZ:    {"ldd", 1, 2},
+	OpPop:     {"pop", 1, 2},
+	OpSts:     {"sts", 2, 2},
+	OpStX:     {"st", 1, 2},
+	OpStXInc:  {"st", 1, 2},
+	OpStXDec:  {"st", 1, 2},
+	OpStYInc:  {"st", 1, 2},
+	OpStYDec:  {"st", 1, 2},
+	OpStdY:    {"std", 1, 2},
+	OpStZInc:  {"st", 1, 2},
+	OpStZDec:  {"st", 1, 2},
+	OpStdZ:    {"std", 1, 2},
+	OpPush:    {"push", 1, 2},
+	OpLpm:     {"lpm", 1, 3},
+	OpLpmZ:    {"lpm", 1, 3},
+	OpLpmZInc: {"lpm", 1, 3},
+	OpKtrap:   {"ktrap", 2, 1},
+}
+
+// String returns the canonical lower-case mnemonic.
+func (op Op) String() string {
+	if op >= opCount || opTable[op].name == "" {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Valid reports whether op names a real instruction.
+func (op Op) Valid() bool {
+	return op > OpInvalid && op < opCount && opTable[op].name != ""
+}
+
+// Words returns the instruction size in 16-bit words (1 or 2).
+func (op Op) Words() int {
+	if !op.Valid() {
+		return 0
+	}
+	return int(opTable[op].words)
+}
+
+// BaseCycles returns the minimum cycle cost of the instruction on an
+// ATmega128. Branch-taken and skip penalties are added at execution time.
+func (op Op) BaseCycles() int {
+	if !op.Valid() {
+		return 0
+	}
+	return int(opTable[op].cycles)
+}

@@ -1,0 +1,77 @@
+// Package fixedstack implements the fixed-worst-case-stack multithreading
+// baseline of Figure 8 (LiteOS/MANTIS-style, Section II): every task gets a
+// statically allocated stack sized to the programmer-declared worst case,
+// the kernel's static data takes over 2000 bytes, and stacks never move. A
+// task that outgrows its allocation is killed.
+//
+// The baseline deliberately reuses the SenSmart loader and scheduler with
+// relocation disabled, so that the Figure 8 comparison isolates exactly the
+// stack-management policy: versatile relocation versus static worst-case
+// allocation. (LiteOS itself performs no memory protection at all; its
+// tasks would corrupt each other instead of being killed. Admission counts —
+// the figure's metric — are unaffected by that difference.)
+package fixedstack
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/rewriter"
+)
+
+// KernelStaticData is LiteOS's static data-memory footprint ("more than
+// 2000 bytes of static data", Section V-D).
+const KernelStaticData = 2048
+
+// Config tunes the baseline.
+type Config struct {
+	// WorstCaseStack is the programmer-declared per-task stack size.
+	// LiteOS requires this estimate up front; tasks exceeding it die.
+	WorstCaseStack uint16
+	// AppLimit optionally caps the application area (bytes).
+	AppLimit uint16
+	// SliceCycles is the clock-interrupt scheduling quantum.
+	SliceCycles uint64
+}
+
+// System is a booted fixed-stack kernel.
+type System struct {
+	K *kernel.Kernel
+}
+
+// New builds the baseline kernel on m.
+func New(m *mcu.Machine, cfg Config) *System {
+	if cfg.WorstCaseStack == 0 {
+		cfg.WorstCaseStack = 192
+	}
+	k := kernel.New(m, kernel.Config{
+		KernelData:        KernelStaticData,
+		AppLimit:          cfg.AppLimit,
+		InitialStack:      cfg.WorstCaseStack,
+		SliceCycles:       cfg.SliceCycles,
+		DisableRelocation: true,
+	})
+	return &System{K: k}
+}
+
+// AddTask admits a task with its fixed worst-case stack. It fails once the
+// static allocation no longer fits — the admission limit Figure 8 measures.
+func (s *System) AddTask(name string, nat *rewriter.Naturalized) (*kernel.Task, error) {
+	return s.K.AddTask(name, nat)
+}
+
+// MaxSchedulable reports how many instances of nat the system could admit
+// into the remaining memory, without mutating the system.
+func MaxSchedulable(cfg Config, nat *rewriter.Naturalized) int {
+	m := mcu.New()
+	s := New(m, cfg)
+	n := 0
+	for {
+		if _, err := s.AddTask("probe", nat); err != nil {
+			return n
+		}
+		n++
+		if n > 1024 { // safety net
+			return n
+		}
+	}
+}

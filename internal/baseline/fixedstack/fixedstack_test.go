@@ -1,0 +1,83 @@
+package fixedstack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/avr/asm"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+)
+
+func TestAdmissionLimitedByWorstCaseStack(t *testing.T) {
+	prog := progs.MustTreeSearch(progs.TreeSearchParams{Trees: 2, NodesPerTree: 20})
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := MaxSchedulable(Config{WorstCaseStack: 96}, nat)
+	big := MaxSchedulable(Config{WorstCaseStack: 224}, nat)
+	if small <= big {
+		t.Errorf("smaller worst-case stacks must admit more tasks: %d vs %d", small, big)
+	}
+	if big == 0 {
+		t.Error("no tasks admitted at all")
+	}
+}
+
+func TestOvergrownTaskIsKilledNotRelocated(t *testing.T) {
+	deep, err := asm.Assemble("deep", `
+main:
+    ldi r24, 80
+    rcall eat
+hang:
+    rjmp hang
+eat:
+    push r24
+    push r24
+    dec r24
+    brne eat
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := rewriter.Rewrite(deep, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mcu.New()
+	s := New(m, Config{WorstCaseStack: 64})
+	task, err := s.AddTask("deep", nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != kernel.TaskTerminated {
+		t.Fatal("task exceeding its fixed stack must be killed")
+	}
+	if !strings.Contains(task.ExitReason, "stack") {
+		t.Errorf("exit reason = %q", task.ExitReason)
+	}
+	if s.K.Stats.Relocations != 0 {
+		t.Errorf("fixed-stack baseline must never relocate (%d)", s.K.Stats.Relocations)
+	}
+}
+
+func TestKernelStaticDataShrinksAppArea(t *testing.T) {
+	m := mcu.New()
+	s := New(m, Config{})
+	base, end := s.K.AppMemory()
+	area := int(end) - int(base)
+	full := mcu.DataSize - mcu.SRAMBase
+	if area > full-KernelStaticData {
+		t.Errorf("app area %d should reflect the %d-byte kernel", area, KernelStaticData)
+	}
+}

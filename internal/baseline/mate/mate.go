@@ -1,0 +1,299 @@
+// Package mate implements the Maté comparison baseline (Levis & Culler,
+// ASPLOS'02): a stack-based bytecode virtual machine whose interpretation
+// loop costs tens of AVR cycles per bytecode instruction. The paper's
+// Figure 6(c) uses an equivalent PeriodicTask bytecode program to show the
+// interpretation penalty of fully virtualized execution.
+package mate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a bytecode opcode.
+type Op byte
+
+// The instruction set: a small operand-stack machine in Maté's style.
+const (
+	OpHalt  Op = iota
+	OpPushc    // push the next code byte
+	OpPushw    // push the next two code bytes (little endian)
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShr
+	OpDup
+	OpDrop
+	OpLoad  // pop addr, push heap[addr]
+	OpStore // pop addr, pop value, heap[addr] = value
+	OpJump  // pop target
+	OpBrnz  // pop target, pop cond; jump if cond != 0
+	OpRand  // push a 16-bit pseudo-random value
+	OpTime  // push the current clock (cycles/8, 16 bit)
+	OpSleep // pop ticks; idle that many clock ticks
+	OpSend  // pop a byte, transmit on the radio (timing only)
+	OpDecw  // pop addr; decrement the 16-bit counter at heap[addr]; push it
+)
+
+// InterpCycles is the average interpretation cost per bytecode instruction:
+// fetch, decode, bounds checks, and dispatch take roughly 33 AVR
+// instructions in Maté's inner loop (~100 cycles on the ATmega128L).
+const InterpCycles = 100
+
+// HeapBytes is the VM's application heap ("shared variables" in Maté).
+const HeapBytes = 256
+
+// VM is one Maté-style interpreter instance with its own virtual clock.
+type VM struct {
+	Code []byte
+	Heap [HeapBytes]byte
+
+	stack []uint16
+	pc    int
+
+	// Cycles and IdleCycles mirror the mcu accounting so results are
+	// comparable across systems.
+	Cycles     uint64
+	IdleCycles uint64
+	Executed   uint64
+	RadioBytes int
+
+	seed uint16
+}
+
+// New creates a VM for the given bytecode.
+func New(code []byte) *VM {
+	return &VM{Code: code, seed: 0xACE1, stack: make([]uint16, 0, 32)}
+}
+
+// ErrStack reports operand-stack misuse by the bytecode program.
+var ErrStack = errors.New("mate: operand stack error")
+
+// Run interprets until OpHalt or the cycle limit; it returns nil on a clean
+// halt.
+func (v *VM) Run(limit uint64) error {
+	for limit == 0 || v.Cycles < limit {
+		if v.pc < 0 || v.pc >= len(v.Code) {
+			return fmt.Errorf("mate: pc %d out of code (len %d)", v.pc, len(v.Code))
+		}
+		op := Op(v.Code[v.pc])
+		v.pc++
+		v.Cycles += InterpCycles
+		v.Executed++
+		switch op {
+		case OpHalt:
+			return nil
+		case OpPushc:
+			v.push(uint16(v.Code[v.pc]))
+			v.pc++
+		case OpPushw:
+			v.push(uint16(v.Code[v.pc]) | uint16(v.Code[v.pc+1])<<8)
+			v.pc += 2
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+			b, err := v.pop()
+			if err != nil {
+				return err
+			}
+			a, err := v.pop()
+			if err != nil {
+				return err
+			}
+			switch op {
+			case OpAdd:
+				v.push(a + b)
+			case OpSub:
+				v.push(a - b)
+			case OpAnd:
+				v.push(a & b)
+			case OpOr:
+				v.push(a | b)
+			case OpXor:
+				v.push(a ^ b)
+			}
+		case OpShr:
+			a, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.push(a >> 1)
+		case OpDup:
+			a, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.push(a)
+			v.push(a)
+		case OpDrop:
+			if _, err := v.pop(); err != nil {
+				return err
+			}
+		case OpLoad:
+			addr, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.push(uint16(v.Heap[addr%HeapBytes]))
+		case OpStore:
+			addr, err := v.pop()
+			if err != nil {
+				return err
+			}
+			val, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.Heap[addr%HeapBytes] = byte(val)
+		case OpJump:
+			t, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.pc = int(t)
+		case OpBrnz:
+			t, err := v.pop()
+			if err != nil {
+				return err
+			}
+			cond, err := v.pop()
+			if err != nil {
+				return err
+			}
+			if cond != 0 {
+				v.pc = int(t)
+			}
+		case OpRand:
+			bit := v.seed & 1
+			v.seed >>= 1
+			if bit != 0 {
+				v.seed ^= 0xB400
+			}
+			v.push(v.seed)
+		case OpTime:
+			v.push(uint16(v.Cycles / 8))
+		case OpSleep:
+			ticks, err := v.pop()
+			if err != nil {
+				return err
+			}
+			v.Cycles += uint64(ticks) * 8
+			v.IdleCycles += uint64(ticks) * 8
+		case OpSend:
+			b, err := v.pop()
+			if err != nil {
+				return err
+			}
+			_ = b
+			v.RadioBytes++
+			v.Cycles += 3840 // one radio byte at 19.2 kbaud
+		case OpDecw:
+			addr, err := v.pop()
+			if err != nil {
+				return err
+			}
+			lo, hi := addr%HeapBytes, (addr+1)%HeapBytes
+			val := uint16(v.Heap[lo]) | uint16(v.Heap[hi])<<8
+			val--
+			v.Heap[lo] = byte(val)
+			v.Heap[hi] = byte(val >> 8)
+			v.push(val)
+		default:
+			return fmt.Errorf("mate: bad opcode %d at pc %d", op, v.pc-1)
+		}
+	}
+	return fmt.Errorf("mate: cycle limit reached at pc %d", v.pc)
+}
+
+func (v *VM) push(x uint16) { v.stack = append(v.stack, x) }
+
+func (v *VM) pop() (uint16, error) {
+	if len(v.stack) == 0 {
+		return 0, ErrStack
+	}
+	x := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return x, nil
+}
+
+// Builder assembles bytecode with labels, mirroring the role of Maté's
+// TinyScript compiler.
+type Builder struct {
+	code   []byte
+	labels map[string]int
+	refs   map[int]string // pushw placeholder position -> label
+}
+
+// NewBuilder returns an empty bytecode builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int), refs: make(map[int]string)}
+}
+
+// Emit appends raw opcodes/operands.
+func (b *Builder) Emit(bytes ...byte) *Builder { b.code = append(b.code, bytes...); return b }
+
+// Op appends one opcode.
+func (b *Builder) Op(op Op) *Builder { return b.Emit(byte(op)) }
+
+// Pushc appends "push constant byte".
+func (b *Builder) Pushc(v byte) *Builder { return b.Emit(byte(OpPushc), v) }
+
+// Pushw appends "push constant word".
+func (b *Builder) Pushw(v uint16) *Builder {
+	return b.Emit(byte(OpPushw), byte(v), byte(v>>8))
+}
+
+// Label defines a jump target at the current position.
+func (b *Builder) Label(name string) *Builder {
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// PushLabel pushes a label's address (resolved at Build time).
+func (b *Builder) PushLabel(name string) *Builder {
+	b.refs[len(b.code)+1] = name
+	return b.Emit(byte(OpPushw), 0, 0)
+}
+
+// Build resolves labels and returns the bytecode.
+func (b *Builder) Build() ([]byte, error) {
+	out := append([]byte(nil), b.code...)
+	for pos, name := range b.refs {
+		target, ok := b.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("mate: undefined label %q", name)
+		}
+		out[pos] = byte(target)
+		out[pos+1] = byte(target >> 8)
+	}
+	return out, nil
+}
+
+// PeriodicProgram builds the Maté equivalent of the PeriodicTask program:
+// `activations` periods, each running a computation of `instructions`
+// bytecode-equivalent operations, paced at `periodTicks` clock ticks.
+func PeriodicProgram(instructions, activations, periodTicks int) ([]byte, error) {
+	b := NewBuilder()
+	// heap[0:2] = remaining activations (16-bit, little endian).
+	b.Pushc(byte(activations)).Pushc(0).Op(OpStore)
+	b.Pushc(byte(activations >> 8)).Pushc(1).Op(OpStore)
+	b.Label("activation")
+	// Computation: counter = instructions/4 iterations of a 4-op loop, to
+	// mirror the native 4-instruction loop body.
+	iters := instructions / 4
+	b.Pushw(uint16(iters))
+	b.Label("compute")
+	// stack: [count] ; body: count-1, dup, brnz compute
+	b.Pushc(1).Op(OpSub)
+	b.Op(OpDup)
+	b.PushLabel("compute").Op(OpBrnz)
+	b.Op(OpDrop)
+	// Sleep out the rest of the period (approximate pacing: the VM is so
+	// slow that precise deadline arithmetic adds nothing to the comparison).
+	b.Pushw(uint16(periodTicks)).Op(OpSleep)
+	// Decrement the 16-bit activation counter and loop while non-zero.
+	b.Pushc(0).Op(OpDecw)
+	b.PushLabel("activation").Op(OpBrnz)
+	b.Op(OpHalt)
+	return b.Build()
+}

@@ -1,0 +1,125 @@
+package mate
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVMArithmetic(t *testing.T) {
+	code, err := NewBuilder().
+		Pushc(40).Pushc(2).Op(OpAdd).
+		Pushc(10).Op(OpStore). // heap[10] = 42
+		Pushw(0x1234).Pushc(0x34).Op(OpXor).
+		Pushc(11).Op(OpStore). // heap[11] = 0x00 (byte of 0x1200)
+		Op(OpHalt).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Heap[10] != 42 {
+		t.Errorf("heap[10] = %d, want 42", v.Heap[10])
+	}
+	if v.Heap[11] != 0 {
+		t.Errorf("heap[11] = %d, want 0", v.Heap[11])
+	}
+}
+
+func TestVMLoopAndBranch(t *testing.T) {
+	// Count 5 down to 0, bumping heap[0] each iteration.
+	code, err := NewBuilder().
+		Pushw(5).
+		Label("loop").
+		Pushc(0).Op(OpLoad).Pushc(1).Op(OpAdd).Pushc(0).Op(OpStore).
+		Pushc(1).Op(OpSub).
+		Op(OpDup).
+		PushLabel("loop").Op(OpBrnz).
+		Op(OpHalt).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Heap[0] != 5 {
+		t.Errorf("heap[0] = %d, want 5", v.Heap[0])
+	}
+}
+
+func TestVMChargesInterpretationCost(t *testing.T) {
+	code, _ := NewBuilder().Pushc(1).Op(OpDrop).Op(OpHalt).Build()
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Executed != 3 {
+		t.Errorf("executed = %d, want 3", v.Executed)
+	}
+	if v.Cycles != 3*InterpCycles {
+		t.Errorf("cycles = %d, want %d", v.Cycles, 3*InterpCycles)
+	}
+}
+
+func TestVMSleepIdles(t *testing.T) {
+	code, _ := NewBuilder().Pushw(1000).Op(OpSleep).Op(OpHalt).Build()
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.IdleCycles != 8000 {
+		t.Errorf("idle = %d, want 8000", v.IdleCycles)
+	}
+}
+
+func TestVMStackUnderflow(t *testing.T) {
+	code, _ := NewBuilder().Op(OpAdd).Op(OpHalt).Build()
+	v := New(code)
+	if err := v.Run(0); !errors.Is(err, ErrStack) {
+		t.Errorf("err = %v, want stack error", err)
+	}
+}
+
+func TestVMUndefinedLabel(t *testing.T) {
+	if _, err := NewBuilder().PushLabel("nope").Op(OpJump).Build(); err == nil {
+		t.Error("expected undefined-label error")
+	}
+}
+
+func TestPeriodicProgramCompletes(t *testing.T) {
+	code, err := PeriodicProgram(1_000, 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 4 activations x (computation + 2048-tick sleep).
+	if v.IdleCycles != 4*2048*8 {
+		t.Errorf("idle = %d, want %d", v.IdleCycles, 4*2048*8)
+	}
+	// The interpretation penalty dominates: the busy part must cost around
+	// 100x the native equivalent (1000 instructions ~ 1250 native cycles).
+	busy := v.Cycles - v.IdleCycles
+	if busy < 4*1_000*25 {
+		t.Errorf("busy cycles = %d, suspiciously fast for an interpreter", busy)
+	}
+}
+
+func TestPeriodicProgramCounterWidth(t *testing.T) {
+	// More than 255 activations exercises the 16-bit counter.
+	code, err := PeriodicProgram(100, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(code)
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.IdleCycles != 300*16*8 {
+		t.Errorf("idle = %d, want %d (300 activations)", v.IdleCycles, 300*16*8)
+	}
+}

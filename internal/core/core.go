@@ -1,0 +1,170 @@
+// Package core orchestrates the complete SenSmart workflow of Figure 1:
+// compile applications, naturalize them with the base-station rewriter,
+// link them with the kernel, load the target image onto a simulated node,
+// and run the tasks. It is the high-level entry point the public sensmart
+// package (repository root) re-exports.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/minic"
+	"repro/internal/rewriter"
+)
+
+// Option configures a System.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	kernelCfg   kernel.Config
+	rewriterCfg rewriter.Config
+}
+
+type kernelCfgOption kernel.Config
+
+func (o kernelCfgOption) apply(opts *options) { opts.kernelCfg = kernel.Config(o) }
+
+// WithKernelConfig overrides the kernel configuration (time slice, initial
+// stack, memory reservations, relocation policy).
+func WithKernelConfig(cfg kernel.Config) Option { return kernelCfgOption(cfg) }
+
+type rewriterCfgOption rewriter.Config
+
+func (o rewriterCfgOption) apply(opts *options) { opts.rewriterCfg = rewriter.Config(o) }
+
+// WithRewriterConfig overrides the base-station rewriter configuration
+// (grouping and trampoline-merge ablation switches).
+func WithRewriterConfig(cfg rewriter.Config) Option { return rewriterCfgOption(cfg) }
+
+// System is one node plus its build pipeline. Typical use:
+//
+//	sys := core.NewSystem()
+//	prog, _ := sys.CompileString("blink", src)
+//	task, _ := sys.Deploy(prog)
+//	_ = sys.Boot()
+//	_ = sys.Run(10_000_000)
+type System struct {
+	opts    options
+	machine *mcu.Machine
+	kernel  *kernel.Kernel
+	nats    map[*image.Program]*rewriter.Naturalized
+	tasks   []*kernel.Task
+}
+
+// NewSystem creates a fresh node with an attached SenSmart kernel.
+func NewSystem(opts ...Option) *System {
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	m := mcu.New()
+	return &System{
+		opts:    o,
+		machine: m,
+		kernel:  kernel.New(m, o.kernelCfg),
+		nats:    make(map[*image.Program]*rewriter.Naturalized),
+	}
+}
+
+// CompileString assembles AVR source into a program image (the compiler
+// stage of Figure 1).
+func (s *System) CompileString(name, src string) (*image.Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// CompileCString compiles minic (C subset) source into a program image.
+func (s *System) CompileCString(name, src string) (*image.Program, error) {
+	return minic.Compile(name, src)
+}
+
+// Naturalize runs the base-station rewriter on prog (cached per program).
+func (s *System) Naturalize(prog *image.Program) (*rewriter.Naturalized, error) {
+	if nat, ok := s.nats[prog]; ok {
+		return nat, nil
+	}
+	nat, err := rewriter.Rewrite(prog, s.opts.rewriterCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.nats[prog] = nat
+	return nat, nil
+}
+
+// Deploy naturalizes prog and admits one task instance. Before Boot it
+// registers the task for startup; after Boot it spawns the task immediately
+// (the paper's dynamic-reprogramming service).
+func (s *System) Deploy(prog *image.Program) (*kernel.Task, error) {
+	nat, err := s.Naturalize(prog)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s#%d", prog.Name, len(s.tasks))
+	t, err := s.kernel.AddTask(name, nat)
+	if err != nil {
+		return nil, err
+	}
+	s.tasks = append(s.tasks, t)
+	return t, nil
+}
+
+// Boot initializes the kernel and all deployed tasks.
+func (s *System) Boot() error { return s.kernel.Boot() }
+
+// Run executes until all tasks exit, the machine halts, or limit cycles
+// elapse (0 = no limit).
+func (s *System) Run(limit uint64) error { return s.kernel.Run(limit) }
+
+// Done reports whether every task has terminated.
+func (s *System) Done() bool { return s.kernel.Done() }
+
+// Machine exposes the simulated node.
+func (s *System) Machine() *mcu.Machine { return s.machine }
+
+// Kernel exposes the running kernel (statistics, task table).
+func (s *System) Kernel() *kernel.Kernel { return s.kernel }
+
+// Tasks returns the deployed tasks in deployment order.
+func (s *System) Tasks() []*kernel.Task { return append([]*kernel.Task(nil), s.tasks...) }
+
+// ErrNoSymbol is returned when a heap symbol lookup fails.
+var ErrNoSymbol = errors.New("core: no such heap symbol")
+
+// TaskHeapByte reads one byte of a task's heap by data-symbol name, through
+// the task's logical-to-physical mapping.
+func (s *System) TaskHeapByte(t *kernel.Task, symbol string) (byte, error) {
+	addr, err := s.taskHeapAddr(t, symbol, 1)
+	if err != nil {
+		return 0, err
+	}
+	return s.machine.Peek(addr), nil
+}
+
+// TaskHeapWord reads a little-endian 16-bit heap variable of a task.
+func (s *System) TaskHeapWord(t *kernel.Task, symbol string) (uint16, error) {
+	addr, err := s.taskHeapAddr(t, symbol, 2)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(s.machine.Peek(addr)) | uint16(s.machine.Peek(addr+1))<<8, nil
+}
+
+func (s *System) taskHeapAddr(t *kernel.Task, symbol string, size uint16) (uint16, error) {
+	sym, ok := t.Nat.Program.Lookup(symbol)
+	if !ok || sym.Kind != image.SymData {
+		return 0, fmt.Errorf("%w: %q in %s", ErrNoSymbol, symbol, t.Name)
+	}
+	pl, ph, _ := t.Region()
+	logical := uint16(sym.Addr)
+	off := logical - t.Nat.Program.HeapBase
+	if off+size > ph-pl {
+		return 0, fmt.Errorf("core: symbol %q outside task heap", symbol)
+	}
+	return pl + off, nil
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/baseline/tkernel"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/minic"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+)
+
+// resultSymbols maps each kernel benchmark to the heap symbol holding its
+// final result, so the three execution systems can be cross-checked.
+var resultSymbols = map[string]string{
+	"am":         "sent",
+	"amplitude":  "amp",
+	"crc":        "crc",
+	"eventchain": "counts",
+	"lfsr":       "out",
+	"readadc":    "sum",
+	"timer":      "ticks",
+}
+
+// TestCrossSystemCorrectness runs every kernel benchmark natively, under
+// the SenSmart kernel, and under the t-kernel baseline, and requires all
+// three to compute the same result — timing systems may differ in cycles,
+// never in semantics.
+func TestCrossSystemCorrectness(t *testing.T) {
+	for _, kb := range progs.KernelBenchmarks() {
+		kb := kb
+		t.Run(kb.Name, func(t *testing.T) {
+			symbol := resultSymbols[kb.Name]
+			if symbol == "" {
+				t.Fatalf("no result symbol for %s", kb.Name)
+			}
+			sym, ok := kb.Program.Lookup(symbol)
+			if !ok {
+				t.Fatalf("symbol %q missing", symbol)
+			}
+			addr := uint16(sym.Addr)
+			offset := addr - kb.Program.HeapBase
+
+			// Native.
+			native, err := progs.RunNative(kb.Program.Clone(), 10_000_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint16(native.Machine.Peek(addr)) |
+				uint16(native.Machine.Peek(addr+1))<<8
+
+			// SenSmart.
+			nat, err := rewriter.Rewrite(kb.Program, rewriter.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := mcu.New()
+			k := kernel.New(m, kernel.Config{})
+			var got uint16
+			k.Cfg.OnTaskExit = func(kk *kernel.Kernel, task *kernel.Task) {
+				pl, _, _ := task.Region()
+				got = uint16(kk.M.Peek(pl+offset)) | uint16(kk.M.Peek(pl+offset+1))<<8
+			}
+			if _, err := k.AddTask(kb.Name, nat); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Boot(); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(20_000_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !k.Done() {
+				t.Fatal("sensmart run incomplete")
+			}
+			if got != want {
+				t.Errorf("sensmart %s = %#x, native %#x", symbol, got, want)
+			}
+
+			// t-kernel.
+			img, err := tkernel.Naturalize(kb.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm := mcu.New()
+			rt, err := tkernel.NewRuntime(tm, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Run(20_000_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !rt.Exited() {
+				t.Fatal("t-kernel run incomplete")
+			}
+			tkGot := uint16(tm.Peek(addr)) | uint16(tm.Peek(addr+1))<<8
+			if tkGot != want {
+				t.Errorf("t-kernel %s = %#x, native %#x", symbol, tkGot, want)
+			}
+		})
+	}
+}
+
+// TestCompiledCPipelineInflation runs a compiler-generated program through
+// the rewriter: the inflation of compiled C code must stay in the same band
+// the paper reports for nesC binaries (within ~200%).
+func TestCompiledCPipelineInflation(t *testing.T) {
+	prog, err := minic.Compile("ccrc", `
+char msg[64];
+int crc;
+void main() {
+    int i;
+    int bit;
+    for (i = 0; i < 64; i++) {
+        msg[i] = i * 7 + 1;
+    }
+    crc = 0xffff;
+    for (i = 0; i < 64; i++) {
+        crc = crc ^ (msg[i] << 8);
+        for (bit = 0; bit < 8; bit++) {
+            if (crc & 0x8000) {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc = crc << 1;
+            }
+        }
+    }
+    exit();
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := prog.SizeBytes()
+	total := nat.Program.SizeBytes()
+	infl := 100 * (total - native) / native
+	t.Logf("compiled C: native %dB -> naturalized %dB (%d%%)", native, total, infl)
+	if infl > 200 {
+		t.Errorf("compiled-C inflation %d%% exceeds the paper's 200%% band", infl)
+	}
+	// And it must still compute the right CRC under the kernel.
+	m := mcu.New()
+	k := kernel.New(m, kernel.Config{})
+	var got uint16
+	k.Cfg.OnTaskExit = func(kk *kernel.Kernel, task *kernel.Task) {
+		sym, _ := prog.Lookup("g_crc")
+		pl, _, _ := task.Region()
+		off := uint16(sym.Addr) - prog.HeapBase
+		got = uint16(kk.M.Peek(pl+off)) | uint16(kk.M.Peek(pl+off+1))<<8
+	}
+	if _, err := k.AddTask("ccrc", nat); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Reference CRC16-CCITT over the same message.
+	crc := uint16(0xFFFF)
+	v := byte(1)
+	for i := 0; i < 64; i++ {
+		crc ^= uint16(v) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		v += 7
+	}
+	if got != crc {
+		t.Errorf("compiled-C crc = %#x, want %#x", got, crc)
+	}
+}

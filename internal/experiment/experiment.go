@@ -1,0 +1,70 @@
+// Package experiment contains the harnesses that regenerate every table and
+// figure of the paper's evaluation (Section V). Each harness returns a
+// Table whose rows mirror what the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "table2", "fig4"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// seconds renders a cycle count as seconds on the 7.3728 MHz mote.
+func seconds(cycles uint64) string {
+	return fmt.Sprintf("%.3f", float64(cycles)/7372800.0)
+}
+
+// pct renders a ratio as a percentage.
+func pct(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func utoa(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/rewriter"
+)
+
+// senSmartRun is the outcome of running programs to completion under the
+// SenSmart kernel.
+type senSmartRun struct {
+	K      *kernel.Kernel
+	Cycles uint64
+	Idle   uint64
+}
+
+// runSenSmart naturalizes the programs, boots a kernel with one task per
+// program, and runs until all tasks exit (or the cycle limit).
+func runSenSmart(cfg kernel.Config, limit uint64, programs ...*image.Program) (*senSmartRun, error) {
+	m := mcu.New()
+	k := kernel.New(m, cfg)
+	for i, p := range programs {
+		nat, err := rewriter.Rewrite(p, rewriter.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := k.AddTask(fmt.Sprintf("%s#%d", p.Name, i), nat); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Boot(); err != nil {
+		return nil, err
+	}
+	if err := k.Run(limit); err != nil {
+		return nil, err
+	}
+	if !k.Done() {
+		return nil, fmt.Errorf("experiment: %d-cycle limit hit before completion", limit)
+	}
+	return &senSmartRun{K: k, Cycles: m.Cycles(), Idle: m.IdleCycles()}, nil
+}
+
+// runNativeCycles executes a program bare-metal and returns its cycle count.
+func runNativeCycles(p *image.Program, limit uint64) (uint64, uint64, error) {
+	m := mcu.New()
+	if err := m.LoadFlash(0, p.Words); err != nil {
+		return 0, 0, err
+	}
+	for i, b := range p.DataInit {
+		m.Poke(p.HeapBase+uint16(i), b)
+	}
+	m.SetPC(p.Entry)
+	err := m.Run(limit)
+	var f *mcu.Fault
+	if errors.As(err, &f) && f.Kind == mcu.FaultBreak {
+		return m.Cycles(), m.IdleCycles(), nil
+	}
+	if err == nil {
+		return 0, 0, fmt.Errorf("experiment: native run of %s hit the cycle limit", p.Name)
+	}
+	return 0, 0, err
+}

@@ -1,0 +1,27 @@
+package experiment
+
+// Table1 reproduces the qualitative system-capability matrix ("Comparison of
+// typical systems"). The SenSmart column reflects what this reproduction
+// actually implements; the others restate the paper's classification.
+func Table1() *Table {
+	return &Table{
+		ID:    "table1",
+		Title: "Comparison of typical systems (Table I)",
+		Header: []string{"Feature", "TinyOS/TinyThread", "Mate", "MANTIS OS",
+			"t-kernel", "RETOS", "LiteOS", "SenSmart"},
+		Rows: [][]string{
+			{"TinyOS Compatible", "N/A", "No", "No", "Yes", "No", "No", "Yes"},
+			{"Preemptive Multitasking", "Yes", "No", "Yes", "Partial", "Yes", "Yes", "Yes"},
+			{"Concurrent Applications", "No", "N/A", "No", "No", "No", "No", "Yes"},
+			{"Interrupt-free Preemption", "Yes", "N/A", "No", "Yes", "No", "No", "Yes"},
+			{"Memory Protection", "No", "Yes", "No", "Partial", "Yes", "No", "Yes"},
+			{"Logical Memory Address", "No", "N/A", "No", "No", "No", "No", "Yes"},
+			{"Physical Mem Management", "Automatic", "Automatic", "Automatic",
+				"Automatic", "Automatic", "Manual", "Automatic"},
+			{"Stack Relocation", "No", "No", "No", "No", "No", "No", "Yes"},
+		},
+		Notes: []string{
+			"SenSmart column verified against this reproduction: preemption via 1-of-256 backward-branch traps (internal/kernel), isolation via logical addressing, stack relocation in internal/kernel/memory.go.",
+		},
+	}
+}

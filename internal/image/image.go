@@ -1,0 +1,171 @@
+// Package image models the artifacts that flow through the SenSmart build
+// pipeline of Figure 1 in the paper: the binary program produced by the
+// compiler (here: the assembler), its symbol list, and the linked target
+// image loaded onto a node.
+package image
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SymKind classifies a symbol-list entry.
+type SymKind uint8
+
+const (
+	// SymCode labels a program-memory word address (function or jump target).
+	SymCode SymKind = iota + 1
+	// SymData labels a data-memory byte address inside the task's heap area.
+	SymData
+	// SymConst is an .equ constant with no storage.
+	SymConst
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymCode:
+		return "code"
+	case SymData:
+		return "data"
+	case SymConst:
+		return "const"
+	}
+	return fmt.Sprintf("symkind(%d)", uint8(k))
+}
+
+// Symbol is one entry of the symbol list the compiler hands the rewriter.
+type Symbol struct {
+	Name string  `json:"name"`
+	Kind SymKind `json:"kind"`
+	// Addr is a word address for SymCode, a data-memory byte address for
+	// SymData, and the value for SymConst.
+	Addr uint32 `json:"addr"`
+	// Size is the object size in bytes (SymData only).
+	Size uint32 `json:"size,omitempty"`
+}
+
+// Program is one compiled application: a raw program-memory image plus the
+// whole-program information (symbol list, heap usage) that the base-station
+// rewriter exploits (Section IV-A).
+type Program struct {
+	// Name identifies the application (used in task naming and reports).
+	Name string `json:"name"`
+	// Words is the program-memory image, word-addressed from 0.
+	Words []uint16 `json:"words"`
+	// Entry is the word address execution starts at.
+	Entry uint32 `json:"entry"`
+	// Symbols is the compiler-generated symbol list.
+	Symbols []Symbol `json:"symbols,omitempty"`
+	// HeapBase is the lowest data-memory address the program's static data
+	// occupies (the logical heap base, 0x0100 on the ATmega128L layout).
+	HeapBase uint16 `json:"heapBase"`
+	// HeapSize is the number of data-memory bytes of static data ("heap" in
+	// the paper's terminology: everything that is not stack).
+	HeapSize uint16 `json:"heapSize"`
+	// DataInit holds initial values for the first len(DataInit) bytes of the
+	// heap area (the .data section); the rest is zeroed (.bss).
+	DataInit []byte `json:"dataInit,omitempty"`
+	// StackReserve is the program's requested initial stack size in bytes;
+	// zero means "use the kernel default" (SenSmart assigns a predefined
+	// initial size and grows it by relocation, Section IV-C3).
+	StackReserve uint16 `json:"stackReserve,omitempty"`
+	// TextData lists word ranges inside Words that hold constant data
+	// (LPM tables) rather than instructions. The rewriter copies these
+	// verbatim instead of decoding them. Part of the whole-program
+	// information the base station exploits (Section IV-A).
+	TextData []Range `json:"textData,omitempty"`
+}
+
+// Range is a half-open [Start, End) word-address interval.
+type Range struct {
+	Start uint32 `json:"start"`
+	End   uint32 `json:"end"`
+}
+
+// Contains reports whether word address a falls inside the range.
+func (r Range) Contains(a uint32) bool { return a >= r.Start && a < r.End }
+
+// InTextData reports whether word address a lies in a data-in-text range.
+func (p *Program) InTextData(a uint32) bool {
+	for _, r := range p.TextData {
+		if r.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes returns the program-memory footprint in bytes.
+func (p *Program) SizeBytes() int { return 2 * len(p.Words) }
+
+// Lookup finds a symbol by name.
+func (p *Program) Lookup(name string) (Symbol, bool) {
+	for _, s := range p.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Clone returns a deep copy of the program, so that rewriting never aliases
+// the caller's image.
+func (p *Program) Clone() *Program {
+	q := *p
+	q.Words = append([]uint16(nil), p.Words...)
+	q.Symbols = append([]Symbol(nil), p.Symbols...)
+	q.DataInit = append([]byte(nil), p.DataInit...)
+	return &q
+}
+
+// Validate performs basic consistency checks on the program.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return errors.New("image: program has no name")
+	}
+	if len(p.Words) == 0 {
+		return fmt.Errorf("image: program %s is empty", p.Name)
+	}
+	if p.Entry >= uint32(len(p.Words)) {
+		return fmt.Errorf("image: program %s entry %#x beyond code end %#x",
+			p.Name, p.Entry, len(p.Words))
+	}
+	if int(p.HeapSize) < len(p.DataInit) {
+		return fmt.Errorf("image: program %s data init (%d bytes) exceeds heap size %d",
+			p.Name, len(p.DataInit), p.HeapSize)
+	}
+	return nil
+}
+
+// SortSymbols orders the symbol list by (kind, address, name) for stable
+// output.
+func (p *Program) SortSymbols() {
+	sort.Slice(p.Symbols, func(i, j int) bool {
+		a, b := p.Symbols[i], p.Symbols[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Name < b.Name
+	})
+}
+
+// EncodeJSON encodes the program as JSON (the on-disk exchange format the
+// command-line tools use between the compile and rewrite stages). The method
+// is deliberately not named MarshalText so that encoding/json still encodes
+// the struct field-wise.
+func (p *Program) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeJSON decodes a program written by EncodeJSON and validates it.
+func (p *Program) DecodeJSON(data []byte) error {
+	if err := json.Unmarshal(data, p); err != nil {
+		return fmt.Errorf("image: decode program: %w", err)
+	}
+	return p.Validate()
+}

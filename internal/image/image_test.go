@@ -1,0 +1,125 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Program {
+	return &Program{
+		Name:     "sample",
+		Words:    []uint16{0x0000, 0xCFFF},
+		Entry:    0,
+		HeapBase: 0x100,
+		HeapSize: 4,
+		DataInit: []byte{1, 2},
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymCode, Addr: 0},
+			{Name: "buf", Kind: SymData, Addr: 0x100, Size: 4},
+			{Name: "K", Kind: SymConst, Addr: 42},
+		},
+		TextData: []Range{{Start: 1, End: 2}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name must fail")
+	}
+	bad = sample()
+	bad.Words = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty code must fail")
+	}
+	bad = sample()
+	bad.Entry = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("entry past code end must fail")
+	}
+	bad = sample()
+	bad.HeapSize = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("data init larger than heap must fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sample()
+	q := p.Clone()
+	q.Words[0] = 0x9508
+	q.Symbols[0].Name = "changed"
+	q.DataInit[0] = 9
+	if p.Words[0] != 0x0000 || p.Symbols[0].Name != "main" || p.DataInit[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestLookupAndSort(t *testing.T) {
+	p := sample()
+	if s, ok := p.Lookup("buf"); !ok || s.Kind != SymData || s.Size != 4 {
+		t.Errorf("Lookup(buf) = %+v, %v", s, ok)
+	}
+	if _, ok := p.Lookup("missing"); ok {
+		t.Error("Lookup(missing) should fail")
+	}
+	p.Symbols = []Symbol{
+		{Name: "b", Kind: SymData, Addr: 8},
+		{Name: "a", Kind: SymCode, Addr: 4},
+		{Name: "c", Kind: SymData, Addr: 8},
+	}
+	p.SortSymbols()
+	if p.Symbols[0].Name != "a" || p.Symbols[1].Name != "b" || p.Symbols[2].Name != "c" {
+		t.Errorf("sort order wrong: %+v", p.Symbols)
+	}
+}
+
+func TestRangeAndTextData(t *testing.T) {
+	r := Range{Start: 2, End: 5}
+	for a, want := range map[uint32]bool{1: false, 2: true, 4: true, 5: false} {
+		if r.Contains(a) != want {
+			t.Errorf("Contains(%d) = %v, want %v", a, !want, want)
+		}
+	}
+	p := sample()
+	if !p.InTextData(1) || p.InTextData(0) {
+		t.Error("InTextData wrong")
+	}
+}
+
+func TestSymKindStrings(t *testing.T) {
+	for k, want := range map[SymKind]string{SymCode: "code", SymData: "data", SymConst: "const"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(SymKind(99).String(), "99") {
+		t.Error("unknown kind should show its number")
+	}
+}
+
+func TestJSONRoundTripInPackage(t *testing.T) {
+	p := sample()
+	data, err := p.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || len(q.Words) != len(p.Words) ||
+		len(q.Symbols) != len(p.Symbols) || len(q.TextData) != len(p.TextData) {
+		t.Errorf("round trip mismatch: %+v", q)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := sample().SizeBytes(); got != 4 {
+		t.Errorf("SizeBytes = %d, want 4", got)
+	}
+}

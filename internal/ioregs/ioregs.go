@@ -1,0 +1,81 @@
+// Package ioregs centralizes the I/O register map of the simulated
+// ATmega128L-class MCU. Addresses below 0x40 are I/O-space addresses usable
+// with IN/OUT/SBI/CBI; extended registers (Timer3) live in data space and are
+// reached with LDS/STS. Data-space address = I/O address + 0x20.
+package ioregs
+
+// I/O-space register addresses (IN/OUT addressing).
+const (
+	// CPU core.
+	SREG = 0x3F
+	SPH  = 0x3E
+	SPL  = 0x3D
+
+	// Timer0 (8-bit, application-visible).
+	TCCR0 = 0x33 // clock select in bits 2:0 (0 = stopped)
+	TCNT0 = 0x32
+	TIFR  = 0x36 // bit 0: TOV0 overflow flag (write 1 to clear)
+	TIMSK = 0x37 // bit 0: TOIE0 overflow interrupt enable
+
+	// ADC (sensor channel).
+	ADCL   = 0x04
+	ADCH   = 0x05
+	ADCSRA = 0x06 // bit 7 ADEN, bit 6 ADSC (start conversion, cleared when done)
+	ADMUX  = 0x07
+
+	// UART0 (serial/debug channel).
+	UCSR0A = 0x0B // bit 5 UDRE (data register empty), bit 7 RXC
+	UDR0   = 0x0C
+
+	// Synthetic radio front end (CC1000-like byte pipe).
+	RSR = 0x0E // bit 0: TX ready; bit 1: RX available
+	RDR = 0x0F // write: transmit byte; read: received byte
+
+	// GPIO port B (LEDs on MICA2).
+	PORTB = 0x18
+	DDRB  = 0x17
+	PINB  = 0x16
+)
+
+// Extended-I/O (data-space) addresses. Timer3 is reserved by the SenSmart
+// kernel as the global clock (Section IV-A); application access to these is
+// intercepted by the rewriter.
+const (
+	TCNT3L = 0x88
+	TCNT3H = 0x89
+	TCCR3B = 0x8A
+	ETIFR  = 0x7C
+	ETIMSK = 0x7D
+)
+
+// DataSpaceOffset converts an I/O-space address to its data-space alias.
+const DataSpaceOffset = 0x20
+
+// ADC behaviour constants.
+const (
+	ADEN = 1 << 7
+	ADSC = 1 << 6
+)
+
+// Status bits.
+const (
+	UDRE      = 1 << 5
+	RXC       = 1 << 7
+	RadioTxOK = 1 << 0
+	RadioRxOK = 1 << 1
+	TOV0      = 1 << 0
+	TOIE0     = 1 << 0
+)
+
+// Names maps I/O-space addresses to register names for the assembler's
+// predefined constants and for diagnostics.
+var Names = map[string]int64{
+	"SREG": SREG, "SPH": SPH, "SPL": SPL,
+	"TCCR0": TCCR0, "TCNT0": TCNT0, "TIFR": TIFR, "TIMSK": TIMSK,
+	"ADCL": ADCL, "ADCH": ADCH, "ADCSRA": ADCSRA, "ADMUX": ADMUX,
+	"UCSR0A": UCSR0A, "UDR0": UDR0,
+	"RSR": RSR, "RDR": RDR,
+	"PORTB": PORTB, "DDRB": DDRB, "PINB": PINB,
+	"TCNT3L": TCNT3L, "TCNT3H": TCNT3H, "TCCR3B": TCCR3B,
+	"ETIFR": ETIFR, "ETIMSK": ETIMSK,
+}

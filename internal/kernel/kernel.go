@@ -1,0 +1,488 @@
+// Package kernel implements the SenSmart kernel runtime (Section IV of the
+// paper): preemptive multi-task scheduling through software branch traps and
+// Timer3 time slices, logical addressing with per-task memory isolation, and
+// versatile stack management with transparent stack relocation.
+//
+// The kernel runs host-side (in Go) and is entered through the KTRAP escapes
+// the base-station rewriter placed in the naturalized images. Every service
+// charges the simulated clock the cycle costs of Table II, so measured
+// execution times reflect the paper's overhead model.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mcu"
+	"repro/internal/rewriter"
+)
+
+// Config tunes the kernel. The zero value selects the defaults below.
+type Config struct {
+	// KernelData is the data-memory reservation for the kernel itself
+	// (the paper reports ~10% of data memory; default 416 bytes).
+	KernelData uint16
+	// AppLimit caps the application area in bytes (0 = all remaining
+	// memory). Figure 8 uses this to grant SenSmart exactly the stack
+	// budget LiteOS has.
+	AppLimit uint16
+	// InitialStack is the predefined initial stack size per task
+	// (Section IV-C3; default 64 bytes).
+	InitialStack uint16
+	// RedZone is the stack headroom the call-site check requires
+	// (default 32 bytes).
+	RedZone uint16
+	// SliceCycles is the round-robin time slice (default 73728 cycles,
+	// 10 ms at 7.3728 MHz).
+	SliceCycles uint64
+	// BranchInterval is the software-trap divisor: one out of this many
+	// backward branches enters the scheduler (default 256).
+	BranchInterval uint32
+	// SleepQuantum is how long a SLEEP blocks the task (default 2048
+	// cycles); tasks poll the virtual clock between sleeps.
+	SleepQuantum uint64
+	// DisableRelocation turns off stack relocation (Section IV-C3): any
+	// stack growth beyond the initial allocation terminates the task. Used
+	// by the fixed-stack baseline and the ablation benchmarks.
+	DisableRelocation bool
+	// Logf, when set, receives kernel trace lines.
+	Logf func(format string, args ...any)
+	// OnTaskExit, when set, runs as a task terminates, before its memory
+	// region is released — the harness's chance to snapshot task heap state.
+	OnTaskExit func(k *Kernel, t *Task)
+}
+
+func (c *Config) setDefaults() {
+	if c.KernelData == 0 {
+		c.KernelData = 416
+	}
+	if c.InitialStack == 0 {
+		c.InitialStack = 64
+	}
+	if c.RedZone == 0 {
+		c.RedZone = 32
+	}
+	if c.SliceCycles == 0 {
+		c.SliceCycles = 73728
+	}
+	if c.BranchInterval == 0 {
+		c.BranchInterval = 256
+	}
+	if c.SleepQuantum == 0 {
+		c.SleepQuantum = 2048
+	}
+}
+
+// Stats aggregates kernel-level counters for the evaluation harnesses.
+type Stats struct {
+	ContextSwitches int
+	Preemptions     int
+	BranchTraps     uint64
+	Relocations     int
+	RelocatedBytes  uint64
+	Terminations    int
+	ServiceCalls    map[rewriter.Class]uint64
+}
+
+// Sentinel errors.
+var (
+	// ErrNoMemory is returned when task admission cannot fit the new region.
+	ErrNoMemory = errors.New("kernel: insufficient application memory")
+	// ErrBooted is returned by a second Boot.
+	ErrBooted = errors.New("kernel: already booted")
+)
+
+// loadedProg tracks one naturalized program placed in flash.
+type loadedProg struct {
+	nat  *rewriter.Naturalized
+	base uint32
+}
+
+// Kernel is one SenSmart instance bound to a machine.
+type Kernel struct {
+	M   *mcu.Machine
+	Cfg Config
+
+	Tasks   []*Task
+	regions []*Task // live tasks ordered by region address
+
+	cur    int // index into Tasks of the running task; -1 = none
+	progs  []*loadedProg
+	traps  []trapRef // global KTRAP id -> (program, patch)
+	booted bool
+
+	flashTop uint32
+	appBase  uint16
+	appEnd   uint16
+
+	Stats Stats
+}
+
+type trapRef struct {
+	prog  *loadedProg
+	patch *rewriter.Patch
+}
+
+// New creates a kernel on m.
+func New(m *mcu.Machine, cfg Config) *Kernel {
+	cfg.setDefaults()
+	appBase := uint16(mcu.SRAMBase)
+	appEnd := uint16(mcu.DataSize) - cfg.KernelData
+	if cfg.AppLimit != 0 && appBase+cfg.AppLimit < appEnd {
+		appEnd = appBase + cfg.AppLimit
+	}
+	k := &Kernel{
+		M:        m,
+		Cfg:      cfg,
+		cur:      -1,
+		flashTop: 16, // leave the vector area clear
+		appBase:  appBase,
+		appEnd:   appEnd,
+		Stats:    Stats{ServiceCalls: make(map[rewriter.Class]uint64)},
+	}
+	m.SetTrapHandler(k.handleTrap)
+	return k
+}
+
+func (k *Kernel) logf(format string, args ...any) {
+	if k.Cfg.Logf != nil {
+		k.Cfg.Logf(format, args...)
+	}
+}
+
+// AppMemory returns the application area bounds [base, end).
+func (k *Kernel) AppMemory() (base, end uint16) { return k.appBase, k.appEnd }
+
+// FreeMemory returns the unallocated trailing bytes of the application area.
+func (k *Kernel) FreeMemory() uint16 {
+	if len(k.regions) == 0 {
+		return k.appEnd - k.appBase
+	}
+	return k.appEnd - k.regions[len(k.regions)-1].pu
+}
+
+// loadProgram places a naturalized program in flash (once per program),
+// assigning global trap ids and applying link-time relocations.
+func (k *Kernel) loadProgram(nat *rewriter.Naturalized) (*loadedProg, error) {
+	for _, lp := range k.progs {
+		if lp.nat == nat {
+			return lp, nil
+		}
+	}
+	base := k.flashTop
+	words := append([]uint16(nil), nat.Program.Words...)
+	// Relocate absolute JMP/CALL targets to the flash base.
+	for _, r := range nat.Relocs {
+		words[r] += uint16(base)
+	}
+	// Install global trap ids into the KTRAP id words.
+	idBase := len(k.traps)
+	if idBase+len(nat.Patches) > 0x10000 {
+		return nil, fmt.Errorf("kernel: trap id space exhausted loading %s", nat.Program.Name)
+	}
+	lp := &loadedProg{nat: nat, base: base}
+	k.progs = append(k.progs, lp)
+	for _, p := range nat.Patches {
+		words[p.NatPC+1] = uint16(idBase)
+		k.traps = append(k.traps, trapRef{prog: lp, patch: p})
+		idBase++
+	}
+	if err := k.M.LoadFlash(base, words); err != nil {
+		k.progs = k.progs[:len(k.progs)-1]
+		k.traps = k.traps[:len(k.traps)-len(nat.Patches)]
+		return nil, err
+	}
+	k.flashTop = base + uint32(len(words))
+	k.logf("loaded %s at %#x (%d words)", nat.Program.Name, base, len(words))
+	return lp, nil
+}
+
+// AddTask admits one instance of the naturalized program as a task,
+// allocating its memory region (fixed heap + initial stack). It fails with
+// ErrNoMemory when the region does not fit. Before Boot it only registers
+// the task; after Boot it behaves like SpawnTask.
+func (k *Kernel) AddTask(name string, nat *rewriter.Naturalized) (*Task, error) {
+	lp, err := k.loadProgram(nat)
+	if err != nil {
+		return nil, err
+	}
+	stack := k.Cfg.InitialStack
+	if nat.Program.StackReserve > stack {
+		stack = nat.Program.StackReserve
+	}
+	heap := nat.Program.HeapSize
+	size := heap + stack
+	start := k.appBase
+	if n := len(k.regions); n > 0 {
+		start = k.regions[n-1].pu
+	}
+	if int(start)+int(size) > int(k.appEnd) {
+		return nil, fmt.Errorf("%w: task %s needs %d bytes, %d free",
+			ErrNoMemory, name, size, k.appEnd-start)
+	}
+	t := &Task{
+		ID:     len(k.Tasks),
+		Name:   name,
+		Nat:    nat,
+		Base:   lp.base,
+		pl:     start,
+		ph:     start + heap,
+		pu:     start + size,
+		state:  TaskReady,
+		pc:     lp.base + nat.Program.Entry,
+		spPhys: start + size - 1,
+	}
+	t.spShadow = t.logicalSP()
+	t.branchLeft = k.Cfg.BranchInterval
+	k.Tasks = append(k.Tasks, t)
+	k.regions = append(k.regions, t)
+	if k.booted {
+		// Runtime admission ("reprogramming as an OS service",
+		// Section III-A): initialize the heap immediately; the scheduler
+		// will pick the task up at the next scheduling point.
+		k.initTaskHeap(t)
+	}
+	k.logf("admitted task %s: heap %d stack %d region [%#x,%#x)", name, heap, stack, t.pl, t.pu)
+	return t, nil
+}
+
+// SpawnTask admits and starts one task instance while the system is
+// running — the dynamic-reprogramming path. It is AddTask plus the
+// requirement that the kernel has booted.
+func (k *Kernel) SpawnTask(name string, nat *rewriter.Naturalized) (*Task, error) {
+	if !k.booted {
+		return nil, errors.New("kernel: SpawnTask before Boot; use AddTask")
+	}
+	return k.AddTask(name, nat)
+}
+
+// initTaskHeap copies the program's .data image into the task's heap and
+// zeroes the rest.
+func (k *Kernel) initTaskHeap(t *Task) {
+	for i := 0; i < int(t.HeapSize()); i++ {
+		var v byte
+		if i < len(t.Nat.Program.DataInit) {
+			v = t.Nat.Program.DataInit[i]
+		}
+		k.M.Poke(t.pl+uint16(i), v)
+	}
+}
+
+// Boot initializes all admitted tasks and starts the first one. It charges
+// the system-initialization cost of Table II.
+func (k *Kernel) Boot() error {
+	if k.booted {
+		return ErrBooted
+	}
+	if len(k.Tasks) == 0 {
+		return errors.New("kernel: no tasks admitted")
+	}
+	k.booted = true
+	k.M.AddCycles(CostSysInit)
+	for _, t := range k.Tasks {
+		k.initTaskHeap(t)
+	}
+	k.restore(k.Tasks[0], 0)
+	return nil
+}
+
+// Done reports whether every task has terminated.
+func (k *Kernel) Done() bool {
+	for _, t := range k.Tasks {
+		if t.state != TaskTerminated {
+			return false
+		}
+	}
+	return true
+}
+
+// Current returns the running task, or nil.
+func (k *Kernel) Current() *Task {
+	if k.cur < 0 {
+		return nil
+	}
+	return k.Tasks[k.cur]
+}
+
+// Run executes until every task terminates, the machine halts, or the cycle
+// limit is reached (0 = no limit). Guard trips are recovered into stack
+// growth or task termination, mirroring the paper's stack checking and
+// memory isolation semantics.
+func (k *Kernel) Run(limit uint64) error {
+	m := k.M
+	for limit == 0 || m.Cycles() < limit {
+		err := m.Step()
+		if err == nil {
+			continue
+		}
+		var f *mcu.Fault
+		if !errors.As(err, &f) {
+			return err
+		}
+		switch f.Kind {
+		case mcu.FaultHalt:
+			return nil
+		case mcu.FaultStackOverflow:
+			// A native push ran out of stack: grow and retry the
+			// instruction (PC still points at it).
+			t := k.Current()
+			if t == nil {
+				return err
+			}
+			m.ClearFault()
+			t.spPhys = m.SP()
+			if !k.growStack(t, k.Cfg.RedZone) {
+				k.terminate(t, "stack overflow: no memory to grow")
+				if k.Done() {
+					return nil
+				}
+			}
+		case mcu.FaultMemGuard:
+			t := k.Current()
+			if t == nil {
+				return err
+			}
+			m.ClearFault()
+			k.terminate(t, fmt.Sprintf("memory isolation violation at %#x", f.Addr))
+			if k.Done() {
+				return nil
+			}
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// save captures the machine context into t; contPC is where the task will
+// resume.
+func (k *Kernel) save(t *Task, contPC uint32) {
+	m := k.M
+	for i := uint8(0); i < 32; i++ {
+		t.regs[i] = m.Reg(i)
+	}
+	t.sreg = m.SREG()
+	t.spPhys = m.SP()
+	t.pc = contPC
+	t.noteStackUse()
+}
+
+// restore loads t's context into the machine and makes it current. A
+// contPC of 0 means "use the task's saved pc".
+func (k *Kernel) restore(t *Task, contPC uint32) {
+	m := k.M
+	for i := uint8(0); i < 32; i++ {
+		m.SetReg(i, t.regs[i])
+	}
+	m.SetSREG(t.sreg)
+	m.SetSP(t.spPhys)
+	m.SetGuard(t.pl, t.pu)
+	if contPC == 0 {
+		contPC = t.pc
+	}
+	m.SetPC(contPC)
+	t.spShadow = t.logicalSP()
+	t.Switches++
+	for i, task := range k.Tasks {
+		if task == t {
+			k.cur = i
+		}
+	}
+	t.sliceStart = m.Cycles()
+}
+
+// schedule picks the next ready task after the current one and switches to
+// it; contPC is where the current task (if still live) resumes. When no task
+// is ready the kernel idles the CPU until the earliest sleeper wakes; when
+// all tasks are terminated it halts the machine.
+func (k *Kernel) schedule(contPC uint32) {
+	// Ready any sleeper whose wake time has passed, so busy tasks cannot
+	// starve them of scheduling.
+	k.wakeSleepers()
+	cur := k.Current()
+	next := k.pickNext()
+	for next == nil {
+		// Idle: advance to the earliest wake-up.
+		wake, ok := k.earliestWake()
+		if !ok {
+			k.M.Halt("all tasks terminated")
+			return
+		}
+		if wake > k.M.Cycles() {
+			k.M.AddIdleCycles(wake - k.M.Cycles())
+		}
+		k.wakeSleepers()
+		next = k.pickNext()
+	}
+	if next == cur {
+		// Only one runnable task: keep running without a switch.
+		k.M.SetPC(contPC)
+		return
+	}
+	if cur != nil && cur.state != TaskTerminated {
+		k.save(cur, contPC)
+	}
+	k.M.AddCycles(CostFullSwitch)
+	k.Stats.ContextSwitches++
+	k.restore(next, 0)
+}
+
+// pickNext returns the next ready task in round-robin order (starting after
+// the current task), or nil.
+func (k *Kernel) pickNext() *Task {
+	n := len(k.Tasks)
+	for off := 1; off <= n; off++ {
+		t := k.Tasks[(k.cur+off+n)%n]
+		if t.state == TaskReady {
+			return t
+		}
+	}
+	return nil
+}
+
+// earliestWake returns the soonest wake cycle among sleeping tasks.
+func (k *Kernel) earliestWake() (uint64, bool) {
+	var (
+		best  uint64
+		found bool
+	)
+	for _, t := range k.Tasks {
+		if t.state != TaskSleeping {
+			continue
+		}
+		if !found || t.wakeAt < best {
+			best = t.wakeAt
+			found = true
+		}
+	}
+	return best, found
+}
+
+// wakeSleepers readies every sleeping task whose wake time has come.
+func (k *Kernel) wakeSleepers() {
+	now := k.M.Cycles()
+	for _, t := range k.Tasks {
+		if t.state == TaskSleeping && t.wakeAt <= now {
+			t.state = TaskReady
+		}
+	}
+}
+
+// terminate stops t and releases its memory region.
+func (k *Kernel) terminate(t *Task, reason string) {
+	if t.state == TaskTerminated {
+		return
+	}
+	t.state = TaskTerminated
+	t.ExitReason = reason
+	k.Stats.Terminations++
+	k.logf("task %s terminated: %s", t.Name, reason)
+	if k.Cfg.OnTaskExit != nil {
+		k.Cfg.OnTaskExit(k, t)
+	}
+	k.releaseRegion(t)
+	if k.Current() == t {
+		k.cur = -1
+		k.schedule(0)
+	}
+}

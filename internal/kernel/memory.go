@@ -1,0 +1,243 @@
+package kernel
+
+import "fmt"
+
+// accessKind classifies where a translated logical address landed, which
+// selects the Table II overhead row.
+type accessKind uint8
+
+const (
+	accessIO accessKind = iota + 1
+	accessHeap
+	accessStack
+	accessInvalid
+)
+
+// translate maps a task-logical data address to a physical one
+// (Section IV-C2, Figure 2): the I/O area is identity-mapped, the heap adds
+// the displacement p_l, and the stack adds p_u - M.
+func (t *Task) translate(logical uint16) (phys uint16, kind accessKind) {
+	if logical < 0x100 {
+		return logical, accessIO
+	}
+	heapSize := t.ph - t.pl
+	if logical >= 0x100 && logical < 0x100+heapSize {
+		return logical - 0x100 + t.pl, accessHeap
+	}
+	stackSize := t.pu - t.ph
+	if logical >= logicalSPBase-uint16(stackSize) {
+		return uint16(int(logical) - logicalSPBase + int(t.pu)), accessStack
+	}
+	return 0, accessInvalid
+}
+
+// regionIndex locates t in the address-ordered region list.
+func (k *Kernel) regionIndex(t *Task) int {
+	for i, r := range k.regions {
+		if r == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveBlock relocates n bytes of task memory and accounts for the copy.
+func (k *Kernel) moveBlock(dst, src, n uint16) {
+	if n == 0 || dst == src {
+		return
+	}
+	k.M.CopyData(dst, src, n)
+	k.Stats.RelocatedBytes += uint64(n)
+	k.M.AddCycles(uint64(n) * CostRelocPerByte)
+}
+
+// growStack enlarges t's stack area by at least need bytes by relocating
+// neighbouring regions (Section IV-C3, Figure 3). It returns false when no
+// donor — neither a task with surplus stack nor trailing free memory — can
+// supply the space.
+func (k *Kernel) growStack(t *Task, need uint16) bool {
+	if k.Cfg.DisableRelocation {
+		return false
+	}
+	m := k.regionIndex(t)
+	if m < 0 {
+		return false
+	}
+	// Tasks with a history of deep stacks prefer grants of half their peak
+	// at once — fewer relocation events for the same space — but fall back
+	// to the hard minimum when donors are tight.
+	want := max16(need, t.MaxStackUsed/2)
+	// Donor selection: the task with the most surplus stack provides half
+	// of it; trailing free memory acts as an additional donor. SenSmart is
+	// "conservative on memory relocations": a donor never gives up space
+	// below its own stack high-water mark (plus a small margin), which
+	// stops tasks with alternating deep phases from thrashing stack space
+	// back and forth.
+	bestIdx, bestDelta := -1, uint16(0)
+	for i, r := range k.regions {
+		if i == m || r.state == TaskTerminated {
+			continue
+		}
+		avail := r.freeStack()
+		// The floor keeps half the donor's historical peak (plus margin):
+		// enough hysteresis to avoid thrashing, while still letting tasks
+		// time-share stack space their deep phases need only transiently.
+		floor := max16(r.StackUsed(), r.MaxStackUsed/2) + 16
+		if r.StackAlloc() > floor {
+			if headroom := r.StackAlloc() - floor; avail > headroom {
+				avail = headroom
+			}
+		} else {
+			avail = 0
+		}
+		if avail/2 > bestDelta {
+			bestIdx, bestDelta = i, avail/2
+		}
+	}
+	trailing := k.FreeMemory()
+	trailingDelta := trailing
+	if trailingDelta > 4*want && trailingDelta > 64 {
+		// Don't hand a single task all remaining memory at once.
+		trailingDelta = max16(4*want, 64)
+	}
+	// Prefer a donor that covers the comfortable grant; accept one that
+	// covers the hard minimum; otherwise give up.
+	useTrailing := false
+	switch {
+	case trailingDelta >= want && (bestDelta < want || trailingDelta >= bestDelta):
+		useTrailing = true
+	case bestDelta >= want:
+		// use bestIdx
+	case trailingDelta >= need && (bestDelta < need || trailingDelta >= bestDelta):
+		useTrailing = true
+	case bestDelta >= need:
+		// use bestIdx
+	default:
+		return false
+	}
+
+	k.M.AddCycles(CostStackReloc)
+	k.Stats.Relocations++
+	t.Relocations++
+
+	if useTrailing {
+		k.shiftUpInto(m, len(k.regions), trailingDelta)
+		k.logf("reloc: %s +%d bytes from free memory", t.Name, trailingDelta)
+	} else if bestIdx > m {
+		k.shiftUpInto(m, bestIdx, bestDelta)
+		k.logf("reloc: %s +%d bytes from %s (above)", t.Name, bestDelta, k.regions[bestIdx].Name)
+	} else {
+		k.shiftDownInto(m, bestIdx, bestDelta)
+		k.logf("reloc: %s +%d bytes from %s (below)", t.Name, bestDelta, k.regions[bestIdx].Name)
+	}
+	k.syncAfterMove()
+	return true
+}
+
+// freeStack returns the task's unused stack bytes (between heap top and the
+// current stack top).
+func (t *Task) freeStack() uint16 {
+	sp := t.spPhys
+	if sp >= t.pu { // empty stack
+		return t.pu - t.ph
+	}
+	if sp < t.ph {
+		return 0
+	}
+	return sp + 1 - t.ph
+}
+
+// shiftUpInto grows region m's stack by delta, taking the space from donor
+// region dn above it (dn == len(regions) means the trailing free space).
+// Blocks move upward, processed top-down so sources are never clobbered.
+func (k *Kernel) shiftUpInto(m, dn int, delta uint16) {
+	if dn < len(k.regions) {
+		n := k.regions[dn]
+		// Donor keeps its stack contents in place; only its heap slides up,
+		// shrinking its free stack gap.
+		k.moveBlock(n.pl+delta, n.pl, n.ph-n.pl)
+		n.pl += delta
+		n.ph += delta
+	}
+	for i := dn - 1; i > m; i-- {
+		r := k.regions[i]
+		k.moveBlock(r.pl+delta, r.pl, r.pu-r.pl)
+		r.pl += delta
+		r.ph += delta
+		r.pu += delta
+		r.spPhys += delta
+	}
+	t := k.regions[m]
+	used := t.StackUsed()
+	k.moveBlock(t.spPhys+1+delta, t.spPhys+1, used)
+	t.pu += delta
+	t.spPhys += delta
+}
+
+// shiftDownInto grows region m's stack by delta, taking the space from donor
+// region dn below it. Blocks move downward, processed bottom-up.
+func (k *Kernel) shiftDownInto(m, dn int, delta uint16) {
+	n := k.regions[dn]
+	used := n.StackUsed()
+	k.moveBlock(n.spPhys+1-delta, n.spPhys+1, used)
+	n.pu -= delta
+	n.spPhys -= delta
+	for i := dn + 1; i < m; i++ {
+		r := k.regions[i]
+		k.moveBlock(r.pl-delta, r.pl, r.pu-r.pl)
+		r.pl -= delta
+		r.ph -= delta
+		r.pu -= delta
+		r.spPhys -= delta
+	}
+	t := k.regions[m]
+	k.moveBlock(t.pl-delta, t.pl, t.ph-t.pl)
+	t.pl -= delta
+	t.ph -= delta
+}
+
+// syncAfterMove refreshes machine state and SP shadows after regions moved.
+func (k *Kernel) syncAfterMove() {
+	for _, r := range k.regions {
+		r.spShadow = r.logicalSP()
+	}
+	if cur := k.Current(); cur != nil {
+		k.M.SetSP(cur.spPhys)
+		k.M.SetGuard(cur.pl, cur.pu)
+	}
+}
+
+// releaseRegion removes a terminated task's region, sliding the regions
+// above it down so that all free memory pools at the top of the application
+// area (keeping the region list contiguous).
+func (k *Kernel) releaseRegion(t *Task) {
+	idx := k.regionIndex(t)
+	if idx < 0 {
+		return
+	}
+	size := t.pu - t.pl
+	for i := idx + 1; i < len(k.regions); i++ {
+		r := k.regions[i]
+		k.moveBlock(r.pl-size, r.pl, r.pu-r.pl)
+		r.pl -= size
+		r.ph -= size
+		r.pu -= size
+		r.spPhys -= size
+	}
+	k.regions = append(k.regions[:idx], k.regions[idx+1:]...)
+	k.syncAfterMove()
+}
+
+// faultTask terminates a task for an invalid memory access ("accesses beyond
+// a task's memory region are intercepted and treated as invalid
+// instructions", Section IV-C2).
+func (k *Kernel) faultTask(t *Task, logical uint16) {
+	k.terminate(t, fmt.Sprintf("invalid logical address %#x", logical))
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/mcu"
+)
+
+// TestSpawnTaskAtRuntime exercises the dynamic-reprogramming path the paper
+// sketches ("reprogramming can be performed as an OS service"): a task
+// admitted while the system runs gets a fresh region and is scheduled in.
+func TestSpawnTaskAtRuntime(t *testing.T) {
+	spin := naturalize(t, "spin", spinSrc)
+	sum := naturalize(t, "sum", sumSrc)
+	k, _ := bootKernel(t, Config{SliceCycles: 5_000}, spin)
+
+	// Let the first task run a while.
+	if err := k.Run(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	var got byte
+	cfg := k.Cfg
+	cfg.OnTaskExit = func(kk *Kernel, task *Task) {
+		if task.Name == "late" {
+			pl, _, _ := task.Region()
+			got = kk.M.Peek(pl)
+		}
+	}
+	k.Cfg = cfg
+
+	late, err := k.SpawnTask("late", sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(k.M.Cycles() + 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if late.State() != TaskTerminated || late.ExitReason != "exited" {
+		t.Fatalf("spawned task state %v (%s)", late.State(), late.ExitReason)
+	}
+	if got != 55 {
+		t.Errorf("spawned task result = %d, want 55", got)
+	}
+}
+
+// TestSpawnTaskBeforeBootRejected keeps the API honest.
+func TestSpawnTaskBeforeBootRejected(t *testing.T) {
+	spin := naturalize(t, "spin", spinSrc)
+	k := New(mcu.New(), Config{})
+	if _, err := k.SpawnTask("early", spin); err == nil {
+		t.Error("SpawnTask before Boot should fail")
+	}
+}
+
+// TestSpawnTaskRespectsMemoryLimit verifies runtime admission still honours
+// the application-area bound.
+func TestSpawnTaskRespectsMemoryLimit(t *testing.T) {
+	spin := naturalize(t, "spin", spinSrc)
+	k, _ := bootKernel(t, Config{AppLimit: 200, InitialStack: 80}, spin)
+	if err := k.Run(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	var spawned int
+	for i := 0; i < 8; i++ {
+		if _, err := k.SpawnTask("x", spin); err != nil {
+			break
+		}
+		spawned++
+	}
+	if spawned >= 8 {
+		t.Error("runtime admission ignored the memory limit")
+	}
+}
+
+// TestDoubleBootRejected covers the ErrBooted path.
+func TestDoubleBootRejected(t *testing.T) {
+	spin := naturalize(t, "spin", spinSrc)
+	k, _ := bootKernel(t, Config{}, spin)
+	if err := k.Boot(); err != ErrBooted {
+		t.Errorf("second Boot = %v, want ErrBooted", err)
+	}
+}

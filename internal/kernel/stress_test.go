@@ -1,0 +1,236 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/avr/asm"
+	"repro/internal/mcu"
+	"repro/internal/rewriter"
+)
+
+// stressSrc is a self-verifying task: it fills its heap with a seeded
+// pattern, then loops forever — recursing to pseudo-random depths (each
+// level pushes its depth value and verifies it on unwind) and re-verifying
+// the heap pattern after every recursion. Any corruption introduced by
+// stack relocation or region compaction flips the flag to 2.
+func stressSrc(seed int) string {
+	return fmt.Sprintf(`
+.equ SEED, %d
+.data
+flag:   .space 1       ; 1 = verified ok, 2 = corruption detected
+rounds: .space 2
+fillv:  .space 32
+prng:   .space 2
+.text
+main:
+    ; Seed the PRNG.
+    ldi r16, lo8(SEED)
+    sts prng, r16
+    ldi r16, hi8(SEED)
+    sts prng+1, r16
+    ; Fill the heap pattern: fillv[i] = SEED + 7*i.
+    ldi r26, lo8(fillv)
+    ldi r27, hi8(fillv)
+    ldi r16, lo8(SEED)
+    ldi r17, 32
+fill:
+    st X+, r16
+    subi r16, -7
+    dec r17
+    brne fill
+
+loop:
+    ; Draw a random depth 1..32.
+    rcall rand
+    andi r24, 0x1F
+    subi r24, -1       ; +1
+    rcall recurse
+    ; Verify the heap pattern.
+    ldi r26, lo8(fillv)
+    ldi r27, hi8(fillv)
+    ldi r16, lo8(SEED)
+    ldi r17, 32
+verify:
+    ld r18, X+
+    cp r18, r16
+    brne corrupt
+    subi r16, -7
+    dec r17
+    brne verify
+    ldi r18, 1
+    sts flag, r18
+    ; Count the round.
+    lds r18, rounds
+    lds r19, rounds+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts rounds, r18
+    sts rounds+1, r19
+    rjmp loop
+corrupt:
+    ldi r18, 2
+    sts flag, r18
+    break
+
+; rand: Galois LFSR step; result low byte in r24.
+rand:
+    lds r24, prng
+    lds r25, prng+1
+    lsr r25
+    ror r24
+    brcc randok
+    ldi r18, 0xB4
+    eor r25, r18
+randok:
+    sts prng, r24
+    sts prng+1, r25
+    ret
+
+; recurse(depth=r24): push the depth at every level and verify it while
+; unwinding; any stack-byte corruption trips the flag.
+recurse:
+    push r24
+    tst r24
+    breq runwind
+    dec r24
+    rcall recurse
+    inc r24            ; restore this level's expected value
+runwind:
+    pop r25
+    cp r25, r24
+    breq rok
+    ldi r18, 2
+    sts flag, r18
+rok:
+    ret
+`, seed)
+}
+
+// TestRelocationStressPreservesMemory runs eight self-verifying tasks in
+// tight memory for several simulated seconds: relocations and terminations
+// happen continuously, and no surviving task may ever observe corrupted
+// heap or stack contents.
+func TestRelocationStressPreservesMemory(t *testing.T) {
+	m := mcu.New()
+	k := New(m, Config{InitialStack: 48, SliceCycles: 9_000, AppLimit: 880})
+	var tasks []*Task
+	for i := 0; i < 8; i++ {
+		prog, err := asm.Assemble(fmt.Sprintf("stress%d", i), stressSrc(0x1111+37*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := k.AddTask(fmt.Sprintf("stress%d", i), nat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	budget := uint64(30_000_000)
+	if testing.Short() {
+		budget = 5_000_000
+	}
+	if err := k.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+
+	survivors := 0
+	var roundsTotal uint32
+	for _, task := range tasks {
+		if task.State() == TaskTerminated {
+			// A termination for lack of memory is legitimate under stress;
+			// a self-detected corruption is not.
+			if task.ExitReason == "exited" {
+				t.Errorf("%s exited by itself: corruption detected in-program", task.Name)
+			}
+			continue
+		}
+		survivors++
+		pl, _, _ := task.Region()
+		flag := m.Peek(pl) // "flag" is the first heap byte
+		if flag == 2 {
+			t.Errorf("%s flagged corruption", task.Name)
+		}
+		if flag != 1 {
+			t.Errorf("%s never completed a verification round (flag=%d)", task.Name, flag)
+		}
+		rounds := uint32(m.Peek(pl+1)) | uint32(m.Peek(pl+2))<<8
+		roundsTotal += rounds
+	}
+	if survivors < 2 {
+		t.Fatalf("only %d survivors; stress setup degenerated", survivors)
+	}
+	if k.Stats.Relocations < 10 {
+		t.Errorf("relocations = %d; stress should relocate continuously", k.Stats.Relocations)
+	}
+	if roundsTotal == 0 {
+		t.Error("no verification rounds completed")
+	}
+	t.Logf("survivors=%d relocations=%d relocated=%dB verification rounds=%d",
+		survivors, k.Stats.Relocations, k.Stats.RelocatedBytes, roundsTotal)
+}
+
+// TestRelocationStressWithTerminations mixes the self-verifying tasks with
+// a runaway task that exhausts memory and dies; the survivors must keep
+// verifying cleanly on the memory its termination releases.
+func TestRelocationStressWithTerminations(t *testing.T) {
+	m := mcu.New()
+	k := New(m, Config{InitialStack: 48, SliceCycles: 9_000, AppLimit: 900})
+	runaway, err := asm.Assemble("runaway", `
+main:
+    call main
+    break
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natRunaway, err := rewriter.Rewrite(runaway, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stress []*Task
+	for i := 0; i < 4; i++ {
+		prog, err := asm.Assemble(fmt.Sprintf("s%d", i), stressSrc(0x2222+53*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := k.AddTask(fmt.Sprintf("s%d", i), nat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stress = append(stress, task)
+	}
+	bad, err := k.AddTask("runaway", natRunaway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if bad.State() != TaskTerminated {
+		t.Error("runaway task should have been terminated")
+	}
+	for _, task := range stress {
+		if task.State() == TaskTerminated {
+			continue
+		}
+		pl, _, _ := task.Region()
+		if flag := m.Peek(pl); flag == 2 {
+			t.Errorf("%s flagged corruption after the runaway task's release", task.Name)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/avr"
+	"repro/internal/ioregs"
+	"repro/internal/mcu"
+	"repro/internal/rewriter"
+)
+
+// handleTrap is the kernel entry point: it dispatches a KTRAP escape to the
+// service the rewriter selected and charges the Table II cycle cost. On
+// return the machine PC points at the continuation the service chose.
+func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
+	if int(id) >= len(k.traps) {
+		return fmt.Errorf("kernel: unknown trap id %d at pc=%#x", id, m.PC())
+	}
+	t := k.Current()
+	if t == nil {
+		return fmt.Errorf("kernel: trap %d with no current task", id)
+	}
+	ref := k.traps[id]
+	if ref.prog.base != t.Base {
+		// The task jumped into another program's code: isolation violation.
+		k.terminate(t, "control transfer into foreign program")
+		return nil
+	}
+	p := ref.patch
+	base := ref.prog.base
+	k.Stats.ServiceCalls[p.Class]++
+
+	// The hardware SP is authoritative while the task runs natively.
+	t.spPhys = m.SP()
+	t.noteStackUse()
+
+	switch p.Class {
+	case rewriter.ClassBranch:
+		k.serviceBranch(t, p, base)
+	case rewriter.ClassCall:
+		k.charge(CostStackCheck, p.Orig)
+		if !k.ensureStack(t, k.Cfg.RedZone+2) {
+			return nil
+		}
+		m.PushWord(uint16(base + p.NatNext))
+		t.spPhys = m.SP()
+		m.SetPC(base + p.NatTarget)
+	case rewriter.ClassIndirectCall:
+		k.charge(CostProgMem+CostStackCheck, p.Orig)
+		if !k.ensureStack(t, k.Cfg.RedZone+2) {
+			return nil
+		}
+		z := m.RegPair(avr.RegZ)
+		m.PushWord(uint16(base + p.NatNext))
+		t.spPhys = m.SP()
+		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
+	case rewriter.ClassIndirectJump:
+		k.charge(CostProgMem, p.Orig)
+		z := m.RegPair(avr.RegZ)
+		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
+	case rewriter.ClassDirectIO:
+		k.charge(CostDirectIO, p.Orig)
+		addr := uint16(p.Orig.Imm)
+		if p.Orig.Op == avr.OpLds {
+			m.SetReg(p.Orig.Dst, m.ReadBus(addr))
+		} else {
+			m.WriteBus(addr, m.Reg(p.Orig.Dst))
+		}
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassReservedIO:
+		k.charge(CostReservedIO, p.Orig)
+		k.serviceReservedIO(t, p.Orig)
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassDirectMem:
+		k.charge(CostDirectMem, p.Orig)
+		if !k.serviceDirectMem(t, p.Orig) {
+			return nil
+		}
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassIndirectMem:
+		if !k.serviceIndirectMem(t, p) {
+			return nil
+		}
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassSPRead:
+		k.charge(CostGetSP, p.Orig)
+		logical := t.logicalSP()
+		v := byte(logical)
+		if p.Orig.Imm == int32(ioregs.SPH) {
+			v = byte(logical >> 8)
+		}
+		m.SetReg(p.Orig.Dst, v)
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassSPWrite:
+		k.charge(CostSetSP, p.Orig)
+		if !k.serviceSPWrite(t, p.Orig) {
+			return nil
+		}
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassSleep:
+		k.charge(CostSleep, p.Orig)
+		t.state = TaskSleeping
+		t.wakeAt = m.Cycles() + k.Cfg.SleepQuantum
+		k.schedule(base + p.NatNext)
+	case rewriter.ClassLpm:
+		k.charge(CostProgMem, p.Orig)
+		k.serviceLpm(t, p.Orig, base)
+		m.SetPC(base + p.NatNext)
+	case rewriter.ClassExit:
+		k.terminate(t, "exited")
+	default:
+		return fmt.Errorf("kernel: unhandled service class %v", p.Class)
+	}
+	return nil
+}
+
+// charge accounts a service: the original instruction's own cycles plus the
+// kernel overhead, minus the one cycle the KTRAP fetch already cost.
+func (k *Kernel) charge(overhead int, orig avr.Inst) {
+	total := orig.Op.BaseCycles() + overhead - 1
+	if total > 0 {
+		k.M.AddCycles(uint64(total))
+	}
+}
+
+// serviceBranch implements the patched-branch service: evaluate the branch
+// against live flags, count backward branches toward the 1-of-256 software
+// trap, and preempt when the time slice has expired (Section IV-B).
+func (k *Kernel) serviceBranch(t *Task, p *rewriter.Patch, base uint32) {
+	m := k.M
+	k.charge(CostBranchTrap, p.Orig)
+	taken := true
+	switch p.Orig.Op {
+	case avr.OpBrbs:
+		taken = m.SREG()&(1<<p.Orig.Src) != 0
+	case avr.OpBrbc:
+		taken = m.SREG()&(1<<p.Orig.Src) == 0
+	}
+	next := base + p.NatNext
+	if taken {
+		next = base + p.NatTarget
+		m.AddCycles(1) // branch-taken penalty, as on hardware
+	}
+	if p.Backward {
+		k.Stats.BranchTraps++
+		if t.branchLeft--; t.branchLeft == 0 {
+			t.branchLeft = k.Cfg.BranchInterval
+			if m.Cycles()-t.sliceStart >= k.Cfg.SliceCycles {
+				k.Stats.Preemptions++
+				k.schedule(next)
+				return
+			}
+		}
+	}
+	m.SetPC(next)
+}
+
+// ensureStack guarantees need bytes of stack headroom, relocating regions or
+// terminating the task. It returns false when the task was terminated.
+func (k *Kernel) ensureStack(t *Task, need uint16) bool {
+	if t.spPhys >= t.ph && t.spPhys-t.ph >= need {
+		return true
+	}
+	grow := need
+	if t.spPhys < t.ph {
+		grow += t.ph - t.spPhys
+	}
+	if k.growStack(t, grow) {
+		return true
+	}
+	k.terminate(t, "stack exhausted: no donor with sufficient surplus")
+	return false
+}
+
+// serviceDirectMem executes a translated LDS/STS to the heap (or stack) and
+// reports whether the task survived.
+func (k *Kernel) serviceDirectMem(t *Task, in avr.Inst) bool {
+	phys, kind := t.translate(uint16(in.Imm))
+	if kind != accessHeap && kind != accessStack {
+		k.faultTask(t, uint16(in.Imm))
+		return false
+	}
+	if in.Op == avr.OpLds {
+		k.M.SetReg(in.Dst, k.M.Peek(phys))
+	} else {
+		k.M.Poke(phys, k.M.Reg(in.Dst))
+	}
+	return true
+}
+
+// serviceIndirectMem executes a (possibly grouped) run of indirect memory
+// accesses with one shared translation (Section IV-C2). Returns false when
+// the task was terminated by an invalid access.
+func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
+	m := k.M
+	cycles := -1 // the KTRAP fetch already charged one
+	for idx, in := range p.Group {
+		ptr, _ := in.PointerReg()
+		v := m.RegPair(ptr)
+		var (
+			logical uint16
+			wb      bool
+			wbVal   uint16
+		)
+		switch in.Op {
+		case avr.OpLdXInc, avr.OpLdYInc, avr.OpLdZInc,
+			avr.OpStXInc, avr.OpStYInc, avr.OpStZInc:
+			logical, wb, wbVal = v, true, v+1
+		case avr.OpLdXDec, avr.OpLdYDec, avr.OpLdZDec,
+			avr.OpStXDec, avr.OpStYDec, avr.OpStZDec:
+			logical, wb, wbVal = v-1, true, v-1
+		case avr.OpLddY, avr.OpLddZ, avr.OpStdY, avr.OpStdZ:
+			logical = v + uint16(in.Imm)
+		default:
+			logical = v
+		}
+		phys, kind := t.translate(logical)
+		if kind == accessInvalid {
+			m.AddCycles(uint64(cycles + 1))
+			k.faultTask(t, logical)
+			return false
+		}
+		if in.IsLoad() {
+			var b byte
+			switch {
+			case kind == accessIO && rewriter.ReservedDataAddr(logical):
+				b = k.virtualTimer3Read(t, logical)
+			case kind == accessIO:
+				b = m.ReadBus(phys)
+			default:
+				b = m.Peek(phys)
+			}
+			m.SetReg(in.Dst, b)
+		} else {
+			b := m.Reg(in.Dst)
+			switch {
+			case kind == accessIO && rewriter.ReservedDataAddr(logical):
+				// Writes to the kernel-reserved clock are ignored.
+			case kind == accessIO:
+				m.WriteBus(phys, b)
+			default:
+				m.Poke(phys, b)
+			}
+		}
+		if wb {
+			m.SetRegPair(ptr, wbVal)
+		}
+		cycles += in.Op.BaseCycles()
+		if idx == 0 {
+			switch kind {
+			case accessIO:
+				cycles += CostIndIO
+			case accessHeap:
+				cycles += CostIndHeap
+			default:
+				cycles += CostIndStack
+			}
+		} else {
+			cycles += CostGroupExtra
+		}
+	}
+	if cycles > 0 {
+		m.AddCycles(uint64(cycles))
+	}
+	return true
+}
+
+// serviceSPWrite assembles the task's logical SP byte-wise and commits the
+// translated physical SP, growing the stack when the new frame would breach
+// the red zone (Section IV-C2/C3).
+func (k *Kernel) serviceSPWrite(t *Task, in avr.Inst) bool {
+	v := k.M.Reg(in.Dst)
+	if in.Imm == int32(ioregs.SPL) {
+		t.spShadow = t.spShadow&0xFF00 | uint16(v)
+	} else {
+		t.spShadow = t.spShadow&0x00FF | uint16(v)<<8
+	}
+	newPhys := t.physSPFromLogical(t.spShadow)
+	t.spPhys = newPhys
+	k.M.SetSP(newPhys)
+	t.noteStackUse()
+	return k.ensureStack(t, k.Cfg.RedZone)
+}
+
+// serviceReservedIO virtualizes the kernel-reserved Timer3 registers: reads
+// return the global clock (with hardware-style high-byte latching); writes
+// are discarded (Section IV-A).
+func (k *Kernel) serviceReservedIO(t *Task, in avr.Inst) {
+	if in.Op != avr.OpLds {
+		return
+	}
+	k.M.SetReg(in.Dst, k.virtualTimer3Read(t, uint16(in.Imm)))
+}
+
+func (k *Kernel) virtualTimer3Read(t *Task, addr uint16) byte {
+	switch addr {
+	case ioregs.TCNT3L:
+		v := k.M.Timer3Count()
+		t.timer3Latch = byte(v >> 8)
+		return byte(v)
+	case ioregs.TCNT3H:
+		return t.timer3Latch
+	}
+	return 0
+}
+
+// serviceLpm performs a program-memory data access with address translation
+// through the shift table.
+func (k *Kernel) serviceLpm(t *Task, in avr.Inst, base uint32) {
+	m := k.M
+	z := m.RegPair(avr.RegZ)
+	natByte := t.Nat.Shift.MapByte(z) + base*2
+	v := m.FlashByte(natByte)
+	dst := in.Dst // OpLpm has Dst 0, which is the implied r0
+	m.SetReg(dst, v)
+	if in.Op == avr.OpLpmZInc {
+		m.SetRegPair(avr.RegZ, z+1)
+	}
+}

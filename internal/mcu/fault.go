@@ -1,0 +1,63 @@
+package mcu
+
+import "fmt"
+
+// FaultKind classifies the ways simulated execution can stop abnormally.
+type FaultKind uint8
+
+const (
+	// FaultBadInst is an undecodable or unsupported opcode.
+	FaultBadInst FaultKind = iota + 1
+	// FaultBreak is a bare BREAK with no kernel trap handler installed.
+	FaultBreak
+	// FaultTrap is an unhandled KTRAP (no kernel attached).
+	FaultTrap
+	// FaultMemGuard is a native store or load outside the allowed region
+	// (the memory-isolation backstop the kernel arms per task).
+	FaultMemGuard
+	// FaultStackOverflow is a push/call that ran below the guard floor.
+	FaultStackOverflow
+	// FaultDeadSleep is a SLEEP with no enabled wake-up source.
+	FaultDeadSleep
+	// FaultHalt is a voluntary halt requested through Machine.Halt.
+	FaultHalt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBadInst:
+		return "bad instruction"
+	case FaultBreak:
+		return "break"
+	case FaultTrap:
+		return "unhandled ktrap"
+	case FaultMemGuard:
+		return "memory isolation violation"
+	case FaultStackOverflow:
+		return "stack overflow"
+	case FaultDeadSleep:
+		return "sleep with no wake-up source"
+	case FaultHalt:
+		return "halted"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is the error type returned when execution stops abnormally.
+type Fault struct {
+	Kind FaultKind
+	PC   uint32 // word address of the faulting instruction
+	Addr uint16 // data address involved, if any
+	Note string
+}
+
+func (f *Fault) Error() string {
+	s := fmt.Sprintf("mcu: %s at pc=%#x", f.Kind, f.PC)
+	if f.Addr != 0 {
+		s += fmt.Sprintf(" addr=%#x", f.Addr)
+	}
+	if f.Note != "" {
+		s += " (" + f.Note + ")"
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package mcu
+
+// SREG flag masks (bit positions match internal/avr flag constants).
+const (
+	flagC byte = 1 << 0
+	flagZ byte = 1 << 1
+	flagN byte = 1 << 2
+	flagV byte = 1 << 3
+	flagS byte = 1 << 4
+	flagH byte = 1 << 5
+	flagT byte = 1 << 6
+	flagI byte = 1 << 7
+)
+
+// addFlags computes SREG for R = a + b + carryIn per the AVR data sheet.
+func addFlags(a, b, r byte, sreg byte) byte {
+	sreg &^= flagH | flagS | flagV | flagN | flagZ | flagC
+	h := (a&b | b&^r | a&^r) & 0x08
+	if h != 0 {
+		sreg |= flagH
+	}
+	c := (a&b | b&^r | a&^r) & 0x80
+	if c != 0 {
+		sreg |= flagC
+	}
+	v := (a & b &^ r) | (^a & ^b & r)
+	if v&0x80 != 0 {
+		sreg |= flagV
+	}
+	return nzs(sreg, r)
+}
+
+// subFlags computes SREG for R = a - b - carryIn. keepZ implements the
+// CPC/SBC rule where Z is only cleared, never set.
+func subFlags(a, b, r byte, sreg byte, keepZ bool) byte {
+	old := sreg
+	sreg &^= flagH | flagS | flagV | flagN | flagZ | flagC
+	h := (^a&b | b&r | r&^a) & 0x08
+	if h != 0 {
+		sreg |= flagH
+	}
+	c := (^a&b | b&r | r&^a) & 0x80
+	if c != 0 {
+		sreg |= flagC
+	}
+	v := (a &^ b &^ r) | (^a & b & r)
+	if v&0x80 != 0 {
+		sreg |= flagV
+	}
+	sreg = nzs(sreg, r)
+	if keepZ && r == 0 {
+		// Z = Z_old & (R == 0): propagate the previous Z instead of setting.
+		sreg = sreg&^flagZ | old&flagZ
+	}
+	return sreg
+}
+
+// logicFlags computes SREG for AND/OR/EOR/COM-style results (V cleared).
+func logicFlags(r byte, sreg byte) byte {
+	sreg &^= flagS | flagV | flagN | flagZ
+	return nzs(sreg, r)
+}
+
+// nzs fills in N, Z and S=N^V from the result byte and the V already in sreg.
+func nzs(sreg byte, r byte) byte {
+	if r == 0 {
+		sreg |= flagZ
+	}
+	if r&0x80 != 0 {
+		sreg |= flagN
+	}
+	n := sreg&flagN != 0
+	v := sreg&flagV != 0
+	if n != v {
+		sreg |= flagS
+	} else {
+		sreg &^= flagS
+	}
+	return sreg
+}

@@ -1,0 +1,359 @@
+// Package mcu simulates an ATmega128L-class microcontroller — the MICA2
+// mote's CPU — with cycle accounting faithful to the data sheet. It executes
+// the AVR subset defined in internal/avr, models the mote devices the
+// SenSmart evaluation needs (Timer0, the kernel-reserved Timer3, ADC, UART,
+// a byte-timed radio), and exposes the hooks the SenSmart kernel runtime
+// attaches to: a KTRAP handler and a per-task memory guard.
+package mcu
+
+import (
+	"fmt"
+
+	"repro/internal/avr"
+)
+
+// Memory geometry and clock rate of the simulated MICA2 node.
+const (
+	// FlashWords is the program memory size in 16-bit words (128 KB).
+	FlashWords = 1 << 16
+	// DataSize is the data address space: 32 registers + 224 I/O bytes +
+	// 4 KB SRAM, addresses 0x0000..0x10FF.
+	DataSize = 0x1100
+	// SRAMBase is the first general-purpose SRAM address.
+	SRAMBase = 0x0100
+	// IOBase is the data-space address of I/O register 0.
+	IOBase = 0x20
+	// ClockHz is the MICA2 CPU clock (7.3728 MHz).
+	ClockHz = 7372800
+)
+
+// Data-space addresses of the core registers.
+const (
+	addrSPL  = 0x5D
+	addrSPH  = 0x5E
+	addrSREG = 0x5F
+)
+
+// Interrupt vector word addresses (our simulated part's layout; 2 words per
+// vector so a JMP fits).
+const (
+	VecReset    = 0
+	VecTimer0   = 2
+	VecADC      = 4
+	VecUART     = 6
+	VecRadioRx  = 8
+	VecTableEnd = 10
+)
+
+// Interrupt source bits for the pending mask.
+const (
+	intTimer0 = 1 << iota
+	intADC
+	intUART
+	intRadioRx
+)
+
+// TrapHandler is invoked when execution reaches a KTRAP instruction. The
+// handler owns the machine during the call: it must set the next PC and
+// charge any kernel cycles. Returning an error halts the machine.
+type TrapHandler func(m *Machine, id uint16) error
+
+// Machine is one simulated node. The zero value is not usable; call New.
+type Machine struct {
+	flash [FlashWords]uint16
+	data  [DataSize]byte
+	pc    uint32
+	cycle uint64
+	idle  uint64 // cycles spent sleeping, for CPU-utilization accounting
+
+	sleeping bool
+	fault    *Fault
+	pending  uint8  // pending interrupt sources
+	wbVal    uint16 // pointer write-back scratch for indirect accesses
+
+	trap TrapHandler
+
+	// Native-access memory guard (the kernel's isolation backstop for
+	// unpatched SP-relative accesses). Zero values disable it.
+	guardLo, guardHi uint16
+	guardOn          bool
+
+	dev devices
+
+	// decode cache: code is immutable while running (the paper's
+	// no-self-modification assumption), so each flash word decodes once.
+	decoded  []avr.Inst
+	decodedB []bool
+	codeEnd  uint32 // highest loaded word + 1, for diagnostics
+}
+
+// New returns a reset machine with empty flash.
+func New() *Machine {
+	m := &Machine{
+		decoded:  make([]avr.Inst, FlashWords),
+		decodedB: make([]bool, FlashWords),
+	}
+	m.Reset()
+	return m
+}
+
+// Reset clears CPU and device state but leaves flash contents alone.
+func (m *Machine) Reset() {
+	m.data = [DataSize]byte{}
+	m.pc = 0
+	m.cycle = 0
+	m.idle = 0
+	m.sleeping = false
+	m.fault = nil
+	m.pending = 0
+	m.guardOn = false
+	m.dev.reset()
+	m.SetSP(DataSize - 1)
+}
+
+// LoadFlash copies words into program memory starting at word address base.
+func (m *Machine) LoadFlash(base uint32, words []uint16) error {
+	if int(base)+len(words) > FlashWords {
+		return fmt.Errorf("mcu: flash overflow: base %#x + %d words", base, len(words))
+	}
+	copy(m.flash[base:], words)
+	for i := range words {
+		m.decodedB[base+uint32(i)] = false
+	}
+	if end := base + uint32(len(words)); end > m.codeEnd {
+		m.codeEnd = end
+	}
+	return nil
+}
+
+// FlashWord returns the program-memory word at addr.
+func (m *Machine) FlashWord(addr uint32) uint16 { return m.flash[addr&(FlashWords-1)] }
+
+// SetTrapHandler installs the kernel's KTRAP entry point. Without a handler
+// BREAK decodes as plain BREAK; with one, BREAK plus its following id word
+// decodes as KTRAP (the decode cache is flushed to apply the change).
+func (m *Machine) SetTrapHandler(h TrapHandler) {
+	m.trap = h
+	for i := range m.decodedB {
+		m.decodedB[i] = false
+	}
+}
+
+// SetGuard arms the native-store guard: SP-relative and other unpatched SRAM
+// accesses outside [lo, hi) fault. The kernel re-arms this per context
+// switch.
+func (m *Machine) SetGuard(lo, hi uint16) { m.guardLo, m.guardHi, m.guardOn = lo, hi, true }
+
+// ClearGuard disables the native-store guard.
+func (m *Machine) ClearGuard() { m.guardOn = false }
+
+// PC returns the current program counter (word address).
+func (m *Machine) PC() uint32 { return m.pc }
+
+// SetPC sets the program counter (word address).
+func (m *Machine) SetPC(pc uint32) { m.pc = pc & (FlashWords - 1) }
+
+// Cycles returns the simulated cycle count since reset.
+func (m *Machine) Cycles() uint64 { return m.cycle }
+
+// IdleCycles returns cycles spent asleep, for CPU-utilization accounting.
+func (m *Machine) IdleCycles() uint64 { return m.idle }
+
+// AddCycles charges n extra cycles (kernel service overhead).
+func (m *Machine) AddCycles(n uint64) { m.cycle += n }
+
+// AddIdleCycles advances time by n cycles marked as idle (kernel idle loop).
+func (m *Machine) AddIdleCycles(n uint64) { m.cycle += n; m.idle += n }
+
+// Reg returns register r0..r31.
+func (m *Machine) Reg(i uint8) byte { return m.data[i&31] }
+
+// SetReg writes register r0..r31.
+func (m *Machine) SetReg(i uint8, v byte) { m.data[i&31] = v }
+
+// RegPair returns the 16-bit pair starting at even register i (X/Y/Z).
+func (m *Machine) RegPair(i uint8) uint16 {
+	return uint16(m.data[i]) | uint16(m.data[i+1])<<8
+}
+
+// SetRegPair writes the 16-bit pair starting at even register i.
+func (m *Machine) SetRegPair(i uint8, v uint16) {
+	m.data[i] = byte(v)
+	m.data[i+1] = byte(v >> 8)
+}
+
+// SP returns the hardware stack pointer.
+func (m *Machine) SP() uint16 {
+	return uint16(m.data[addrSPL]) | uint16(m.data[addrSPH])<<8
+}
+
+// SetSP writes the hardware stack pointer.
+func (m *Machine) SetSP(sp uint16) {
+	m.data[addrSPL] = byte(sp)
+	m.data[addrSPH] = byte(sp >> 8)
+}
+
+// SREG returns the status register.
+func (m *Machine) SREG() byte { return m.data[addrSREG] }
+
+// SetSREG writes the status register.
+func (m *Machine) SetSREG(v byte) { m.data[addrSREG] = v }
+
+// Peek reads data memory without device side effects or guard checks
+// (kernel/test access).
+func (m *Machine) Peek(addr uint16) byte { return m.data[addr%DataSize] }
+
+// Poke writes data memory without device side effects or guard checks
+// (kernel/test access).
+func (m *Machine) Poke(addr uint16, v byte) { m.data[addr%DataSize] = v }
+
+// CopyData moves n bytes of data memory from src to dst, handling overlap
+// (the kernel's stack-relocation memmove).
+func (m *Machine) CopyData(dst, src, n uint16) {
+	copy(m.data[dst:int(dst)+int(n)], m.data[src:int(src)+int(n)])
+}
+
+// Halt stops the machine with FaultHalt and the given note (e.g. "workload
+// complete"). Step returns the fault from then on.
+func (m *Machine) Halt(note string) {
+	if m.fault == nil {
+		m.fault = &Fault{Kind: FaultHalt, PC: m.pc, Note: note}
+	}
+}
+
+// Halted reports whether the machine has stopped, and why.
+func (m *Machine) Halted() (bool, *Fault) { return m.fault != nil, m.fault }
+
+// faultf records and returns a fault.
+func (m *Machine) faultf(kind FaultKind, addr uint16, note string) error {
+	m.fault = &Fault{Kind: kind, PC: m.pc, Addr: addr, Note: note}
+	return m.fault
+}
+
+// fetch returns the decoded instruction at word address pc.
+func (m *Machine) fetch(pc uint32) (avr.Inst, error) {
+	pc &= FlashWords - 1
+	if m.decodedB[pc] {
+		return m.decoded[pc], nil
+	}
+	in, err := avr.Decode(m.flash[pc:min(int(pc)+2, FlashWords)])
+	if err != nil {
+		return avr.Inst{}, err
+	}
+	if in.Op == avr.OpKtrap && m.trap == nil {
+		// Without a kernel, BREAK is BREAK; the next word is unrelated.
+		in = avr.Inst{Op: avr.OpBreak}
+	}
+	m.decoded[pc] = in
+	m.decodedB[pc] = true
+	return in, nil
+}
+
+// InstAt decodes (with caching) the instruction at word address pc. It is
+// the public variant of fetch for the kernel's branch-trampoline logic.
+func (m *Machine) InstAt(pc uint32) (avr.Inst, error) { return m.fetch(pc) }
+
+// Run executes until the machine faults/halts or until the cycle count
+// reaches limit (0 = no limit). It returns nil when the limit stopped it.
+func (m *Machine) Run(limit uint64) error {
+	for limit == 0 || m.cycle < limit {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction (or delivers one interrupt / sleeps).
+func (m *Machine) Step() error {
+	if m.fault != nil {
+		return m.fault
+	}
+	if m.cycle >= m.dev.nextEvent {
+		m.syncDevices()
+	}
+	if m.pending != 0 && m.data[addrSREG]&flagI != 0 {
+		m.deliverInterrupt()
+		return nil
+	}
+	if m.sleeping {
+		return m.advanceSleep()
+	}
+	in, err := m.fetch(m.pc)
+	if err != nil {
+		return m.faultf(FaultBadInst, 0, err.Error())
+	}
+	return m.exec(in)
+}
+
+// deliverInterrupt vectors to the highest-priority pending source.
+func (m *Machine) deliverInterrupt() {
+	var vec uint32
+	switch {
+	case m.pending&intTimer0 != 0:
+		m.pending &^= intTimer0
+		vec = VecTimer0
+	case m.pending&intADC != 0:
+		m.pending &^= intADC
+		vec = VecADC
+	case m.pending&intUART != 0:
+		m.pending &^= intUART
+		vec = VecUART
+	default:
+		m.pending &^= intRadioRx
+		vec = VecRadioRx
+	}
+	m.sleeping = false
+	m.pushWord(uint16(m.pc))
+	m.data[addrSREG] &^= flagI
+	m.pc = vec
+	m.cycle += 4
+}
+
+// advanceSleep fast-forwards the clock to the next device event.
+func (m *Machine) advanceSleep() error {
+	next := m.dev.nextEvent
+	if next == noEvent {
+		return m.faultf(FaultDeadSleep, 0, "no device event scheduled")
+	}
+	if next > m.cycle {
+		m.idle += next - m.cycle
+		m.cycle = next
+	}
+	m.syncDevices()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ClearFault clears a recorded fault so a supervising kernel can recover
+// (e.g. grow a task's stack after a guard trip and retry the instruction;
+// PC still points at the faulting instruction).
+func (m *Machine) ClearFault() { m.fault = nil }
+
+// Sleep puts the CPU into sleep mode, as the SLEEP instruction would. A
+// supervising runtime that patches SLEEP out of application code uses this
+// to re-enter the hardware sleep path after handling the trap.
+func (m *Machine) Sleep() { m.sleeping = true }
+
+// Energy model of the MICA2 node (CC1000 mote, 3 V supply): the ATmega128L
+// draws ~8 mA active and ~15 µA in sleep mode. EnergyMilliJoules estimates
+// the CPU energy consumed so far from the active/idle cycle split — the
+// quantity the paper's introduction argues unpredictable latencies waste.
+const (
+	activeMilliAmps = 8.0
+	sleepMilliAmps  = 0.015
+	supplyVolts     = 3.0
+)
+
+// EnergyMilliJoules returns the estimated CPU energy spent since reset.
+func (m *Machine) EnergyMilliJoules() float64 {
+	active := float64(m.cycle-m.idle) / ClockHz
+	idle := float64(m.idle) / ClockHz
+	return (active*activeMilliAmps + idle*sleepMilliAmps) * supplyVolts
+}

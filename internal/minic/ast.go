@@ -1,0 +1,169 @@
+package minic
+
+// typeKind is the (deliberately small) type system: unsigned 8- and 16-bit
+// integers, plus void for functions.
+type typeKind uint8
+
+const (
+	tVoid typeKind = iota
+	tChar          // unsigned 8-bit
+	tInt           // unsigned 16-bit
+)
+
+func (t typeKind) size() int {
+	switch t {
+	case tChar:
+		return 1
+	case tInt:
+		return 2
+	}
+	return 0
+}
+
+func (t typeKind) String() string {
+	switch t {
+	case tChar:
+		return "char"
+	case tInt:
+		return "int"
+	}
+	return "void"
+}
+
+// program is the parsed translation unit.
+type program struct {
+	globals []*global
+	funcs   []*function
+}
+
+type global struct {
+	name     string
+	typ      typeKind
+	arrayLen int // 0 = scalar
+	init     int64
+	hasInit  bool
+	line     int
+}
+
+type function struct {
+	name   string
+	ret    typeKind
+	params []param
+	body   *blockStmt
+	line   int
+
+	// Resolved during codegen.
+	locals map[string]*local
+	frame  int
+}
+
+type param struct {
+	name string
+	typ  typeKind
+}
+
+type local struct {
+	typ    typeKind
+	offset int // Y+offset of the first byte
+}
+
+// Statements.
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	name string
+	typ  typeKind
+	init expr // may be nil
+	line int
+}
+
+type exprStmt struct{ e expr }
+
+type ifStmt struct {
+	cond      expr
+	then, alt stmt // alt may be nil
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+}
+
+type forStmt struct {
+	init stmt // may be nil (declStmt or exprStmt)
+	cond expr // may be nil (infinite)
+	post expr // may be nil
+	body stmt
+}
+
+type returnStmt struct {
+	e    expr // may be nil
+	line int
+}
+
+type blockStmt struct{ stmts []stmt }
+
+type breakStmt struct{ line int }
+
+type continueStmt struct{ line int }
+
+type asmStmt struct{ text string }
+
+func (*declStmt) stmtNode()     {}
+func (*exprStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*blockStmt) stmtNode()    {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*asmStmt) stmtNode()      {}
+
+// Expressions.
+type expr interface{ exprNode() }
+
+type numExpr struct{ v int64 }
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name string
+	idx  expr
+	line int
+}
+
+type assignExpr struct {
+	lhs  expr // *varExpr or *indexExpr
+	rhs  expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unaryExpr struct {
+	op string
+	e  expr
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (*numExpr) exprNode()    {}
+func (*varExpr) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*assignExpr) exprNode() {}
+func (*binaryExpr) exprNode() {}
+func (*unaryExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}

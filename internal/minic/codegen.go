@@ -1,0 +1,786 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+)
+
+// Compile translates minic source into a program image, by way of the
+// SenSmart assembler. Calling convention (avr-gcc flavoured): up to four
+// 16-bit arguments in r24:r25, r22:r23, r20:r21, r18:r19; result in
+// r24:r25; Y (r28:r29) is the callee-saved frame pointer; locals live in a
+// stack frame addressed Y+1.. and allocated by rewriting SP through IN/OUT
+// — so compiled code exercises the kernel's stack services the way real
+// nesC binaries do.
+func Compile(name, src string) (*image.Program, error) {
+	prog, err := parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{
+		name:    name,
+		prog:    prog,
+		globals: make(map[string]*global),
+		funcs:   make(map[string]*function),
+		used:    make(map[string]bool),
+	}
+	text, err := g.generate()
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(name, text)
+}
+
+// MustCompile is Compile for statically known-good sources.
+func MustCompile(name, src string) *image.Program {
+	p, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// argRegs lists the low registers of the four argument pairs.
+var argRegs = [4]int{24, 22, 20, 18}
+
+// builtins maps builtin functions to their argument counts and whether they
+// produce a value.
+var builtins = map[string]struct {
+	args     int
+	hasValue bool
+}{
+	"adc_read":   {0, true},
+	"timer3":     {0, true},
+	"uart_putc":  {1, false},
+	"radio_send": {1, false},
+	"sleep":      {0, false},
+	"exit":       {0, false},
+}
+
+type codegen struct {
+	name    string
+	prog    *program
+	globals map[string]*global
+	funcs   map[string]*function
+	b       strings.Builder
+	fn      *function
+	label   int
+	brk     []string // break targets
+	cont    []string // continue targets
+	used    map[string]bool
+}
+
+func (g *codegen) errf(line int, format string, args ...any) error {
+	return &Error{Name: g.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.label++
+	return fmt.Sprintf(".L%s%d", hint, g.label)
+}
+
+func (g *codegen) generate() (string, error) {
+	// Register symbols and check for duplicates.
+	for _, gl := range g.prog.globals {
+		if _, dup := g.globals[gl.name]; dup {
+			return "", g.errf(gl.line, "duplicate global %q", gl.name)
+		}
+		g.globals[gl.name] = gl
+	}
+	for _, fn := range g.prog.funcs {
+		if _, dup := g.funcs[fn.name]; dup {
+			return "", g.errf(fn.line, "duplicate function %q", fn.name)
+		}
+		if _, isBuiltin := builtins[fn.name]; isBuiltin {
+			return "", g.errf(fn.line, "%q is a builtin and cannot be redefined", fn.name)
+		}
+		if _, isGlobal := g.globals[fn.name]; isGlobal {
+			return "", g.errf(fn.line, "%q is already a global variable", fn.name)
+		}
+		g.funcs[fn.name] = fn
+	}
+	main, ok := g.funcs["main"]
+	if !ok {
+		return "", g.errf(1, "no main function")
+	}
+	if len(main.params) != 0 {
+		return "", g.errf(main.line, "main takes no parameters")
+	}
+
+	// Data section.
+	g.emit(".data")
+	for _, gl := range g.prog.globals {
+		size := gl.typ.size()
+		switch {
+		case gl.arrayLen > 0:
+			g.emit("g_%s: .space %d", gl.name, gl.arrayLen*size)
+		case gl.hasInit && gl.typ == tChar:
+			g.emit("g_%s: .db %d", gl.name, uint8(gl.init))
+		case gl.hasInit:
+			g.emit("g_%s: .dw %d", gl.name, uint16(gl.init))
+		default:
+			g.emit("g_%s: .space %d", gl.name, size)
+		}
+	}
+	g.emit(".text")
+	g.emit(".entry __start")
+	g.emit("__start:")
+	g.emit("    call main")
+	g.emit("    break")
+
+	for _, fn := range g.prog.funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	g.emitRuntime()
+	return g.b.String(), nil
+}
+
+// collectLocals assigns frame offsets to parameters and every local
+// declared anywhere in the function body.
+func (g *codegen) collectLocals(fn *function) error {
+	fn.locals = make(map[string]*local)
+	offset := 1 // Y+0 is the byte the next push would hit; locals start at Y+1
+	add := func(name string, typ typeKind, line int) error {
+		if _, dup := fn.locals[name]; dup {
+			return g.errf(line, "duplicate local %q in %s", name, fn.name)
+		}
+		fn.locals[name] = &local{typ: typ, offset: offset}
+		offset += typ.size()
+		return nil
+	}
+	for _, p := range fn.params {
+		if err := add(p.name, p.typ, fn.line); err != nil {
+			return err
+		}
+	}
+	var walk func(s stmt) error
+	walk = func(s stmt) error {
+		switch st := s.(type) {
+		case *declStmt:
+			return add(st.name, st.typ, st.line)
+		case *blockStmt:
+			for _, inner := range st.stmts {
+				if err := walk(inner); err != nil {
+					return err
+				}
+			}
+		case *ifStmt:
+			if err := walk(st.then); err != nil {
+				return err
+			}
+			if st.alt != nil {
+				return walk(st.alt)
+			}
+		case *whileStmt:
+			return walk(st.body)
+		case *forStmt:
+			if st.init != nil {
+				if err := walk(st.init); err != nil {
+					return err
+				}
+			}
+			return walk(st.body)
+		}
+		return nil
+	}
+	if err := walk(fn.body); err != nil {
+		return err
+	}
+	fn.frame = offset - 1
+	if fn.frame > 62 {
+		return g.errf(fn.line, "frame of %s is %d bytes; at most 62 supported", fn.name, fn.frame)
+	}
+	return nil
+}
+
+func (g *codegen) genFunc(fn *function) error {
+	if err := g.collectLocals(fn); err != nil {
+		return err
+	}
+	g.fn = fn
+	g.emit("%s:", fn.name)
+	g.emit("    push r28")
+	g.emit("    push r29")
+	g.emit("    in r28, SPL")
+	g.emit("    in r29, SPH")
+	if fn.frame > 0 {
+		g.emit("    sbiw r28, %d", fn.frame)
+		g.emit("    out SPH, r29")
+		g.emit("    out SPL, r28")
+	}
+	// Spill incoming arguments into their frame slots.
+	for i, p := range fn.params {
+		lo := argRegs[i]
+		l := fn.locals[p.name]
+		g.emit("    std Y+%d, r%d", l.offset, lo)
+		if p.typ == tInt {
+			g.emit("    std Y+%d, r%d", l.offset+1, lo+1)
+		}
+	}
+	ret := fmt.Sprintf(".Lret_%s", fn.name)
+	if err := g.genStmt(fn.body, ret); err != nil {
+		return err
+	}
+	g.emit("%s:", ret)
+	if fn.frame > 0 {
+		g.emit("    adiw r28, %d", fn.frame)
+		g.emit("    out SPH, r29")
+		g.emit("    out SPL, r28")
+	}
+	g.emit("    pop r29")
+	g.emit("    pop r28")
+	g.emit("    ret")
+	return nil
+}
+
+func (g *codegen) genStmt(s stmt, ret string) error {
+	switch st := s.(type) {
+	case *blockStmt:
+		for _, inner := range st.stmts {
+			if err := g.genStmt(inner, ret); err != nil {
+				return err
+			}
+		}
+	case *declStmt:
+		if st.init == nil {
+			return nil
+		}
+		if err := g.genExpr(st.init); err != nil {
+			return err
+		}
+		g.storeVar(st.name)
+	case *exprStmt:
+		return g.genExpr(st.e)
+	case *ifStmt:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		if err := g.genCondBranch(st.cond, elseL); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.then, ret); err != nil {
+			return err
+		}
+		if st.alt != nil {
+			g.emit("    rjmp %s", endL)
+		}
+		g.emit("%s:", elseL)
+		if st.alt != nil {
+			if err := g.genStmt(st.alt, ret); err != nil {
+				return err
+			}
+			g.emit("%s:", endL)
+		}
+	case *whileStmt:
+		condL := g.newLabel("while")
+		endL := g.newLabel("wend")
+		g.brk = append(g.brk, endL)
+		g.cont = append(g.cont, condL)
+		g.emit("%s:", condL)
+		if err := g.genCondBranch(st.cond, endL); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.body, ret); err != nil {
+			return err
+		}
+		g.emit("    rjmp %s", condL)
+		g.emit("%s:", endL)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+	case *forStmt:
+		condL := g.newLabel("for")
+		postL := g.newLabel("fpost")
+		endL := g.newLabel("fend")
+		if st.init != nil {
+			if err := g.genStmt(st.init, ret); err != nil {
+				return err
+			}
+		}
+		g.brk = append(g.brk, endL)
+		g.cont = append(g.cont, postL)
+		g.emit("%s:", condL)
+		if st.cond != nil {
+			if err := g.genCondBranch(st.cond, endL); err != nil {
+				return err
+			}
+		}
+		if err := g.genStmt(st.body, ret); err != nil {
+			return err
+		}
+		g.emit("%s:", postL)
+		if st.post != nil {
+			if err := g.genExpr(st.post); err != nil {
+				return err
+			}
+		}
+		g.emit("    rjmp %s", condL)
+		g.emit("%s:", endL)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+	case *returnStmt:
+		if st.e != nil {
+			if err := g.genExpr(st.e); err != nil {
+				return err
+			}
+		}
+		g.emit("    rjmp %s", ret)
+	case *breakStmt:
+		if len(g.brk) == 0 {
+			return g.errf(st.line, "break outside a loop")
+		}
+		g.emit("    rjmp %s", g.brk[len(g.brk)-1])
+	case *continueStmt:
+		if len(g.cont) == 0 {
+			return g.errf(st.line, "continue outside a loop")
+		}
+		g.emit("    rjmp %s", g.cont[len(g.cont)-1])
+	case *asmStmt:
+		g.emit("    %s", st.text)
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+	return nil
+}
+
+// genCondBranch evaluates cond and branches to falseL when it is zero.
+func (g *codegen) genCondBranch(cond expr, falseL string) error {
+	if err := g.genExpr(cond); err != nil {
+		return err
+	}
+	trueL := g.newLabel("t")
+	g.emit("    or r24, r25")
+	g.emit("    brne %s", trueL)
+	g.emit("    rjmp %s", falseL)
+	g.emit("%s:", trueL)
+	return nil
+}
+
+// genExpr leaves the 16-bit value of e in r24:r25.
+func (g *codegen) genExpr(e expr) error {
+	switch ex := e.(type) {
+	case *numExpr:
+		g.emit("    ldi r24, %d", uint16(ex.v)&0xFF)
+		g.emit("    ldi r25, %d", uint16(ex.v)>>8)
+	case *varExpr:
+		return g.loadVar(ex.name, ex.line)
+	case *indexExpr:
+		gl, err := g.arrayOf(ex.name, ex.line)
+		if err != nil {
+			return err
+		}
+		if err := g.genIndexAddr(gl, ex.idx); err != nil {
+			return err
+		}
+		g.emit("    movw r26, r24")
+		if gl.typ == tChar {
+			g.emit("    ld r24, X")
+			g.emit("    ldi r25, 0")
+		} else {
+			g.emit("    ld r24, X+")
+			g.emit("    ld r25, X")
+		}
+	case *assignExpr:
+		return g.genAssign(ex)
+	case *binaryExpr:
+		return g.genBinary(ex)
+	case *unaryExpr:
+		if err := g.genExpr(ex.e); err != nil {
+			return err
+		}
+		switch ex.op {
+		case "-":
+			g.emit("    com r24")
+			g.emit("    com r25")
+			g.emit("    adiw r24, 1")
+		case "~":
+			g.emit("    com r24")
+			g.emit("    com r25")
+		case "!":
+			zl := g.newLabel("nz")
+			g.emit("    or r24, r25")
+			g.emit("    ldi r24, 0")
+			g.emit("    ldi r25, 0")
+			g.emit("    brne %s", zl)
+			g.emit("    ldi r24, 1")
+			g.emit("%s:", zl)
+		}
+	case *callExpr:
+		return g.genCall(ex)
+	default:
+		return fmt.Errorf("minic: unknown expression %T", e)
+	}
+	return nil
+}
+
+// genIndexAddr leaves the element's data address in r24:r25.
+func (g *codegen) genIndexAddr(gl *global, idx expr) error {
+	if err := g.genExpr(idx); err != nil {
+		return err
+	}
+	if gl.typ == tInt {
+		g.emit("    lsl r24")
+		g.emit("    rol r25")
+	}
+	g.emit("    subi r24, lo8(-(g_%s))", gl.name)
+	g.emit("    sbci r25, hi8(-(g_%s))", gl.name)
+	return nil
+}
+
+func (g *codegen) arrayOf(name string, line int) (*global, error) {
+	gl, ok := g.globals[name]
+	if !ok {
+		return nil, g.errf(line, "no array %q", name)
+	}
+	if gl.arrayLen == 0 {
+		return nil, g.errf(line, "%q is not an array", name)
+	}
+	return gl, nil
+}
+
+func (g *codegen) genAssign(ex *assignExpr) error {
+	switch lhs := ex.lhs.(type) {
+	case *varExpr:
+		if err := g.genExpr(ex.rhs); err != nil {
+			return err
+		}
+		if !g.storeVar(lhs.name) {
+			return g.errf(lhs.line, "no variable %q", lhs.name)
+		}
+	case *indexExpr:
+		gl, err := g.arrayOf(lhs.name, lhs.line)
+		if err != nil {
+			return err
+		}
+		if err := g.genIndexAddr(gl, lhs.idx); err != nil {
+			return err
+		}
+		g.emit("    push r24")
+		g.emit("    push r25")
+		if err := g.genExpr(ex.rhs); err != nil {
+			return err
+		}
+		g.emit("    pop r27")
+		g.emit("    pop r26")
+		if gl.typ == tChar {
+			g.emit("    st X, r24")
+		} else {
+			g.emit("    st X+, r24")
+			g.emit("    st X, r25")
+		}
+	default:
+		return g.errf(ex.line, "left side is not assignable")
+	}
+	return nil
+}
+
+// loadVar loads a local or global scalar, zero-extending char.
+func (g *codegen) loadVar(name string, line int) error {
+	if g.fn != nil {
+		if l, ok := g.fn.locals[name]; ok {
+			g.emit("    ldd r24, Y+%d", l.offset)
+			if l.typ == tInt {
+				g.emit("    ldd r25, Y+%d", l.offset+1)
+			} else {
+				g.emit("    ldi r25, 0")
+			}
+			return nil
+		}
+	}
+	if gl, ok := g.globals[name]; ok {
+		if gl.arrayLen != 0 {
+			return g.errf(line, "array %q needs an index", name)
+		}
+		g.emit("    lds r24, g_%s", name)
+		if gl.typ == tInt {
+			g.emit("    lds r25, g_%s+1", name)
+		} else {
+			g.emit("    ldi r25, 0")
+		}
+		return nil
+	}
+	return g.errf(line, "no variable %q", name)
+}
+
+// storeVar stores r24(:r25) into a scalar; reports whether the name exists.
+func (g *codegen) storeVar(name string) bool {
+	if g.fn != nil {
+		if l, ok := g.fn.locals[name]; ok {
+			g.emit("    std Y+%d, r24", l.offset)
+			if l.typ == tInt {
+				g.emit("    std Y+%d, r25", l.offset+1)
+			}
+			return true
+		}
+	}
+	if gl, ok := g.globals[name]; ok && gl.arrayLen == 0 {
+		g.emit("    sts g_%s, r24", name)
+		if gl.typ == tInt {
+			g.emit("    sts g_%s+1, r25", name)
+		}
+		return true
+	}
+	return false
+}
+
+func (g *codegen) genBinary(ex *binaryExpr) error {
+	// Short-circuit logical operators.
+	if ex.op == "&&" || ex.op == "||" {
+		falseL := g.newLabel("scf")
+		trueL := g.newLabel("sct")
+		endL := g.newLabel("sce")
+		if err := g.genExpr(ex.l); err != nil {
+			return err
+		}
+		g.emit("    or r24, r25")
+		if ex.op == "&&" {
+			g.emit("    breq %s", falseL)
+		} else {
+			g.emit("    brne %s", trueL)
+		}
+		if err := g.genExpr(ex.r); err != nil {
+			return err
+		}
+		g.emit("    or r24, r25")
+		g.emit("    breq %s", falseL)
+		g.emit("%s:", trueL)
+		g.emit("    ldi r24, 1")
+		g.emit("    ldi r25, 0")
+		g.emit("    rjmp %s", endL)
+		g.emit("%s:", falseL)
+		g.emit("    ldi r24, 0")
+		g.emit("    ldi r25, 0")
+		g.emit("%s:", endL)
+		return nil
+	}
+
+	// Evaluate left, stash on the stack, evaluate right into r22:r23.
+	if err := g.genExpr(ex.l); err != nil {
+		return err
+	}
+	g.emit("    push r24")
+	g.emit("    push r25")
+	if err := g.genExpr(ex.r); err != nil {
+		return err
+	}
+	g.emit("    movw r22, r24")
+	g.emit("    pop r25")
+	g.emit("    pop r24")
+
+	switch ex.op {
+	case "+":
+		g.emit("    add r24, r22")
+		g.emit("    adc r25, r23")
+	case "-":
+		g.emit("    sub r24, r22")
+		g.emit("    sbc r25, r23")
+	case "&":
+		g.emit("    and r24, r22")
+		g.emit("    and r25, r23")
+	case "|":
+		g.emit("    or r24, r22")
+		g.emit("    or r25, r23")
+	case "^":
+		g.emit("    eor r24, r22")
+		g.emit("    eor r25, r23")
+	case "*":
+		g.used["__mul16"] = true
+		g.emit("    call __mul16")
+	case "/":
+		g.used["__udiv16"] = true
+		g.emit("    call __udiv16")
+	case "%":
+		g.used["__udiv16"] = true
+		g.emit("    call __udiv16")
+		g.emit("    movw r24, r20")
+	case "<<":
+		g.used["__shl16"] = true
+		g.emit("    call __shl16")
+	case ">>":
+		g.used["__shr16"] = true
+		g.emit("    call __shr16")
+	case "==", "!=", "<", "<=", ">", ">=":
+		g.genCompare(ex.op)
+	default:
+		return g.errf(ex.line, "unsupported operator %q", ex.op)
+	}
+	return nil
+}
+
+// genCompare turns the comparison of r24:r25 (L) with r22:r23 (R) into a
+// 0/1 value. All comparisons are unsigned.
+func (g *codegen) genCompare(op string) {
+	trueL := g.newLabel("cmpt")
+	endL := g.newLabel("cmpe")
+	switch op {
+	case ">", "<=":
+		// Compare R - L.
+		g.emit("    cp r22, r24")
+		g.emit("    cpc r23, r25")
+	default:
+		g.emit("    cp r24, r22")
+		g.emit("    cpc r25, r23")
+	}
+	switch op {
+	case "==":
+		g.emit("    breq %s", trueL)
+	case "!=":
+		g.emit("    brne %s", trueL)
+	case "<", ">":
+		g.emit("    brlo %s", trueL)
+	case ">=", "<=":
+		g.emit("    brsh %s", trueL)
+	}
+	g.emit("    ldi r24, 0")
+	g.emit("    ldi r25, 0")
+	g.emit("    rjmp %s", endL)
+	g.emit("%s:", trueL)
+	g.emit("    ldi r24, 1")
+	g.emit("    ldi r25, 0")
+	g.emit("%s:", endL)
+}
+
+func (g *codegen) genCall(ex *callExpr) error {
+	if b, ok := builtins[ex.name]; ok {
+		if len(ex.args) != b.args {
+			return g.errf(ex.line, "%s takes %d argument(s), got %d", ex.name, b.args, len(ex.args))
+		}
+		if b.args == 1 {
+			if err := g.genExpr(ex.args[0]); err != nil {
+				return err
+			}
+		}
+		g.genBuiltin(ex.name)
+		return nil
+	}
+	fn, ok := g.funcs[ex.name]
+	if !ok {
+		return g.errf(ex.line, "no function %q", ex.name)
+	}
+	if len(ex.args) != len(fn.params) {
+		return g.errf(ex.line, "%s takes %d argument(s), got %d", ex.name, len(fn.params), len(ex.args))
+	}
+	// Evaluate arguments left to right onto the stack, then pop them into
+	// the argument registers (right to left keeps the pop order simple).
+	for _, a := range ex.args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.emit("    push r24")
+		g.emit("    push r25")
+	}
+	for i := len(ex.args) - 1; i >= 0; i-- {
+		lo := argRegs[i]
+		g.emit("    pop r%d", lo+1)
+		g.emit("    pop r%d", lo)
+	}
+	g.emit("    call %s", ex.name)
+	return nil
+}
+
+// genBuiltin inlines the device builtins. r18 is free scratch here.
+func (g *codegen) genBuiltin(name string) {
+	switch name {
+	case "adc_read":
+		w := g.newLabel("adc")
+		g.emit("    ldi r18, 0xC0")
+		g.emit("    out ADCSRA, r18")
+		g.emit("%s:", w)
+		g.emit("    in r18, ADCSRA")
+		g.emit("    sbrc r18, 6")
+		g.emit("    rjmp %s", w)
+		g.emit("    in r24, ADCL")
+		g.emit("    in r25, ADCH")
+	case "uart_putc":
+		w := g.newLabel("uart")
+		g.emit("%s:", w)
+		g.emit("    in r18, UCSR0A")
+		g.emit("    sbrs r18, 5")
+		g.emit("    rjmp %s", w)
+		g.emit("    out UDR0, r24")
+	case "radio_send":
+		w := g.newLabel("rad")
+		g.emit("%s:", w)
+		g.emit("    in r18, RSR")
+		g.emit("    sbrs r18, 0")
+		g.emit("    rjmp %s", w)
+		g.emit("    out RDR, r24")
+	case "timer3":
+		g.emit("    lds r24, TCNT3L")
+		g.emit("    lds r25, TCNT3H")
+	case "sleep":
+		g.emit("    sleep")
+	case "exit":
+		g.emit("    break")
+	}
+}
+
+// emitRuntime appends the arithmetic helper routines the program used.
+func (g *codegen) emitRuntime() {
+	if g.used["__mul16"] {
+		// r24:r25 x r22:r23 -> r24:r25 (low 16 bits), schoolbook via MUL.
+		g.emit("__mul16:")
+		g.emit("    mul r24, r22")
+		g.emit("    movw r18, r0")
+		g.emit("    mul r24, r23")
+		g.emit("    add r19, r0")
+		g.emit("    mul r25, r22")
+		g.emit("    add r19, r0")
+		g.emit("    movw r24, r18")
+		g.emit("    ret")
+	}
+	if g.used["__udiv16"] {
+		// r24:r25 / r22:r23 -> quotient r24:r25, remainder r20:r21
+		// (16-step restoring division; division by zero yields 0xFFFF).
+		g.emit("__udiv16:")
+		g.emit("    clr r20")
+		g.emit("    clr r21")
+		g.emit("    ldi r18, 16")
+		g.emit("__udl:")
+		g.emit("    lsl r24")
+		g.emit("    rol r25")
+		g.emit("    rol r20")
+		g.emit("    rol r21")
+		g.emit("    cp r20, r22")
+		g.emit("    cpc r21, r23")
+		g.emit("    brlo __uds")
+		g.emit("    sub r20, r22")
+		g.emit("    sbc r21, r23")
+		g.emit("    ori r24, 1")
+		g.emit("__uds:")
+		g.emit("    dec r18")
+		g.emit("    brne __udl")
+		g.emit("    ret")
+	}
+	if g.used["__shl16"] {
+		g.emit("__shl16:")
+		g.emit("__sll:")
+		g.emit("    tst r22")
+		g.emit("    breq __sle")
+		g.emit("    lsl r24")
+		g.emit("    rol r25")
+		g.emit("    dec r22")
+		g.emit("    rjmp __sll")
+		g.emit("__sle:")
+		g.emit("    ret")
+	}
+	if g.used["__shr16"] {
+		g.emit("__shr16:")
+		g.emit("__srl:")
+		g.emit("    tst r22")
+		g.emit("    breq __sre")
+		g.emit("    lsr r25")
+		g.emit("    ror r24")
+		g.emit("    dec r22")
+		g.emit("    rjmp __srl")
+		g.emit("__sre:")
+		g.emit("    ret")
+	}
+}

@@ -1,0 +1,225 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+)
+
+// runUnderKernel compiles, naturalizes and runs src as a SenSmart task,
+// returning the kernel and the heap snapshot taken at task exit.
+func runUnderKernel(t *testing.T, src string, cfg kernel.Config) (*kernel.Kernel, []byte) {
+	t.Helper()
+	prog, err := Compile(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mcu.New()
+	k := kernel.New(m, cfg)
+	var heap []byte
+	k.Cfg.OnTaskExit = func(kk *kernel.Kernel, task *kernel.Task) {
+		pl, ph, _ := task.Region()
+		heap = make([]byte, ph-pl)
+		for i := range heap {
+			heap[i] = kk.M.Peek(pl + uint16(i))
+		}
+	}
+	task, err := k.AddTask("c", nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitReason != "exited" {
+		t.Fatalf("task died: %s", task.ExitReason)
+	}
+	return k, heap
+}
+
+// heapWordAt reads a 16-bit value from the exit snapshot by symbol.
+func heapWordAt(t *testing.T, src, name string, heap []byte) uint16 {
+	t.Helper()
+	prog, err := Compile(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := prog.Lookup("g_" + name)
+	if !ok {
+		t.Fatalf("no symbol g_%s", name)
+	}
+	off := sym.Addr - uint32(prog.HeapBase)
+	return uint16(heap[off]) | uint16(heap[off+1])<<8
+}
+
+// TestCRecursionRelocatesUnderKernel: fib written in C recurses deeply with
+// avr-gcc style frames; the kernel must grow its stack transparently and
+// the result must match the native run.
+func TestCRecursionRelocatesUnderKernel(t *testing.T) {
+	src := `
+int result;
+int fib(int n) {
+    int a;
+    int b;
+    if (n < 2) { return n; }
+    a = fib(n - 1);
+    b = fib(n - 2);
+    return a + b;
+}
+void main() {
+    result = fib(14);
+    exit();
+}
+`
+	k, heap := runUnderKernel(t, src, kernel.Config{InitialStack: 64})
+	if got := heapWordAt(t, src, "result", heap); got != 377 {
+		t.Errorf("fib(14) = %d, want 377", got)
+	}
+	if k.Stats.Relocations == 0 {
+		t.Error("deep C recursion should have forced stack relocations")
+	}
+	// The SP services must have been used by the generated prologues.
+	if k.Stats.ServiceCalls[rewriter.ClassSPWrite] == 0 {
+		t.Error("no set-SP service calls: frames were not allocated through SP rewriting")
+	}
+	if k.Stats.ServiceCalls[rewriter.ClassSPRead] == 0 {
+		t.Error("no get-SP service calls")
+	}
+}
+
+// TestCDifferentialExpressions compiles random arithmetic expression chains
+// and compares the compiled result (run natively) against a Go evaluator
+// with C unsigned-16-bit semantics.
+func TestCDifferentialExpressions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomCExpr(r, 0)
+		src := fmt.Sprintf("int out;\nvoid main() {\n    out = %s;\n    exit();\n}\n", e.src)
+		prog, err := Compile("diff", src)
+		if err != nil {
+			t.Logf("seed %d: compile %q: %v", seed, e.src, err)
+			return false
+		}
+		res, err := progs.RunNative(prog, 50_000_000)
+		if err != nil {
+			t.Logf("seed %d: run %q: %v", seed, e.src, err)
+			return false
+		}
+		got, err := progs.HeapWord(res.Machine, prog, "g_out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e.val {
+			t.Logf("seed %d: %s = %d, want %d", seed, e.src, got, e.val)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cExpr carries a generated C expression and its expected uint16 value.
+type cExpr struct {
+	src string
+	val uint16
+}
+
+// randomCExpr builds a random expression tree with safe operands (non-zero
+// divisors, shift counts < 16).
+func randomCExpr(r *rand.Rand, depth int) cExpr {
+	if depth > 3 || r.Intn(3) == 0 {
+		v := uint16(r.Intn(0x10000))
+		return cExpr{src: fmt.Sprintf("%d", v), val: v}
+	}
+	l := randomCExpr(r, depth+1)
+	rhs := randomCExpr(r, depth+1)
+	switch r.Intn(10) {
+	case 0:
+		return cExpr{src: paren(l, "+", rhs), val: l.val + rhs.val}
+	case 1:
+		return cExpr{src: paren(l, "-", rhs), val: l.val - rhs.val}
+	case 2:
+		return cExpr{src: paren(l, "*", rhs), val: l.val * rhs.val}
+	case 3:
+		d := uint16(1 + r.Intn(1000))
+		dd := cExpr{src: fmt.Sprintf("%d", d), val: d}
+		return cExpr{src: paren(l, "/", dd), val: l.val / d}
+	case 4:
+		d := uint16(1 + r.Intn(1000))
+		dd := cExpr{src: fmt.Sprintf("%d", d), val: d}
+		return cExpr{src: paren(l, "%", dd), val: l.val % d}
+	case 5:
+		return cExpr{src: paren(l, "&", rhs), val: l.val & rhs.val}
+	case 6:
+		return cExpr{src: paren(l, "|", rhs), val: l.val | rhs.val}
+	case 7:
+		return cExpr{src: paren(l, "^", rhs), val: l.val ^ rhs.val}
+	case 8:
+		n := uint16(r.Intn(16))
+		nn := cExpr{src: fmt.Sprintf("%d", n), val: n}
+		return cExpr{src: paren(l, "<<", nn), val: l.val << n}
+	default:
+		n := uint16(r.Intn(16))
+		nn := cExpr{src: fmt.Sprintf("%d", n), val: n}
+		return cExpr{src: paren(l, ">>", nn), val: l.val >> n}
+	}
+}
+
+func paren(l cExpr, op string, r cExpr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s %s %s)", l.src, op, r.src)
+	return b.String()
+}
+
+// TestCSenseAndSendUnderKernel is an integration scenario: a C application
+// samples the sensor, smooths, thresholds and reports over the radio, all
+// as a SenSmart task.
+func TestCSenseAndSendUnderKernel(t *testing.T) {
+	src := `
+int sent;
+int smooth;
+void main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        int s;
+        s = adc_read();
+        smooth = smooth + (s - smooth) / 4;
+        if (smooth > 0x180) {
+            radio_send(smooth >> 4);
+            sent++;
+        }
+    }
+    exit();
+}
+`
+	k, heap := runUnderKernel(t, src, kernel.Config{})
+	sent := heapWordAt(t, src, "sent", heap)
+	if sent == 0 {
+		t.Fatal("no packets sent; thresholding never fired")
+	}
+	k.M.AddCycles(mcu.RadioByteCycles)
+	k.M.FlushDevices()
+	if got := len(k.M.RadioOutput()); got != int(sent) && got != int(sent)-1 {
+		t.Errorf("radio frames = %d, want %d", got, sent)
+	}
+}

@@ -1,0 +1,254 @@
+// Package minic implements a small C-subset compiler targeting the SenSmart
+// AVR assembler — the "compiler" stage of the paper's Figure 1. Sensornet
+// applications in the paper are written in C/nesC and compiled before the
+// base-station rewriter sees them; minic closes that gap so applications can
+// be authored in C instead of assembly.
+//
+// The language: unsigned 8-bit (`char`) and 16-bit (`int`) scalars, global
+// scalars and arrays, functions with up to four parameters and local
+// variables, `if`/`else`, `while`, `for`, `return`, the usual expression
+// operators (assignment, arithmetic, bitwise, shifts, comparisons, logical
+// short-circuit), and a handful of builtins that map to the mote devices:
+// `adc_read()`, `uart_putc(c)`, `radio_send(c)`, `timer3()`, `sleep_ms?` —
+// see builtins in codegen.go. Generated functions use avr-gcc style frames
+// (Y frame pointer, SP rewritten through IN/OUT), so compiled code exercises
+// the kernel's get/set-SP services exactly like nesC binaries do.
+package minic
+
+import "fmt"
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and punctuation, in tok.text
+	tokKeyword
+	tokString // string literal (asm escapes only)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"char": true, "int": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "asm": true,
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Name string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.Name, e.Line, e.Msg) }
+
+type lexer struct {
+	name string
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole source up front.
+func lex(name, src string) ([]token, error) {
+	l := &lexer{name: name, src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Name: l.name, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i < len(l.src) {
+		return l.src[l.pos+i]
+	}
+	return 0
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.at(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+
+	case isDigit(c):
+		base := int64(10)
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			base = 16
+			l.pos += 2
+			start = l.pos
+		} else if c == '0' && (l.at(1) == 'b' || l.at(1) == 'B') {
+			base = 2
+			l.pos += 2
+			start = l.pos
+		}
+		v := int64(0)
+		for l.pos < len(l.src) {
+			d := digitVal(l.src[l.pos])
+			if d < 0 || int64(d) >= base {
+				break
+			}
+			v = v*base + int64(d)
+			l.pos++
+		}
+		if l.pos == start {
+			return token{}, l.errf("malformed number")
+		}
+		return token{kind: tokNumber, num: v, line: l.line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated character literal")
+		}
+		var v int64
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			switch l.peekByte() {
+			case 'n':
+				v = '\n'
+			case 'r':
+				v = '\r'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, l.errf("bad escape '\\%c'", l.peekByte())
+			}
+			l.pos++
+		} else {
+			v = int64(l.src[l.pos])
+			l.pos++
+		}
+		if l.peekByte() != '\'' {
+			return token{}, l.errf("unterminated character literal")
+		}
+		l.pos++
+		return token{kind: tokNumber, num: v, line: l.line}, nil
+
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	}
+
+	// Multi-character operators, longest first.
+	for _, op := range []string{
+		"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+		"+=", "-=", "*=", "&=", "|=", "^=", "++", "--",
+	} {
+		if len(l.src)-l.pos >= len(op) && l.src[l.pos:l.pos+len(op)] == op {
+			l.pos += len(op)
+			return token{kind: tokPunct, text: op, line: l.line}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ';', ',':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

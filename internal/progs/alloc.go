@@ -1,0 +1,115 @@
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+)
+
+// AllocDemo builds a program that exercises the dynamic-memory allocation
+// module the paper's Section III-A prescribes for applications that need
+// malloc-style allocation: "it is not difficult to add a specific
+// allocation module, which claims a chunk of memory and re-allocates parts
+// of it upon requests". The module here is a bump allocator with a reset
+// operation (the common TinyOS pattern); the demo builds a linked list of
+// `nodes` dynamically allocated 4-byte cells, traverses it to sum the
+// payloads, then resets the pool and repeats, leaving the final sum at
+// "sum" and the completed iterations at "iters".
+func AllocDemo(nodes int) (*image.Program, error) {
+	if nodes < 1 || nodes > 40 {
+		return nil, fmt.Errorf("progs: alloc demo supports 1..40 nodes, got %d", nodes)
+	}
+	src := fmt.Sprintf(`
+.equ NODES, %d
+.data
+sum:   .space 2
+iters: .space 1
+brk:   .space 2          ; allocator break pointer
+pool:  .space 168        ; 40 x 4-byte cells + slack
+.text
+main:
+    ldi r20, 3           ; repeat the build/traverse/reset cycle
+cycle:
+    rcall alloc_reset
+    ; ---- build: head in r14:r15, nodes carry payload i*3 ----
+    ldi r16, 0xFF        ; head = nil (0xFFFF)
+    mov r14, r16
+    mov r15, r16
+    ldi r21, NODES
+    clr r22              ; payload counter
+build:
+    ldi r24, 4
+    rcall alloc          ; r24:r25 = cell address
+    ; cell layout: [payload, pad, next_lo, next_hi]
+    movw r26, r24        ; X = cell
+    st X+, r22           ; payload
+    clr r17
+    st X+, r17
+    st X+, r14           ; next = old head
+    st X, r15
+    movw r14, r24        ; head = cell
+    subi r22, -3
+    dec r21
+    brne build
+    ; ---- traverse: sum payloads ----
+    clr r24              ; sum
+    clr r25
+    movw r26, r14        ; X = head
+walk:
+    cpi r27, 0xFF        ; nil pointer has high byte 0xFF
+    breq walked
+    ld r16, X+           ; payload
+    add r24, r16
+    clr r17
+    adc r25, r17
+    ld r17, X+           ; skip pad
+    ld r16, X+           ; next_lo
+    ld r17, X            ; next_hi
+    mov r26, r16
+    mov r27, r17
+    rjmp walk
+walked:
+    sts sum, r24
+    sts sum+1, r25
+    lds r16, iters
+    inc r16
+    sts iters, r16
+    dec r20
+    brne cycle
+    break
+
+; ---- alloc_reset: brk = pool ----
+alloc_reset:
+    ldi r16, lo8(pool)
+    sts brk, r16
+    ldi r16, hi8(pool)
+    sts brk+1, r16
+    ret
+
+; ---- alloc(size=r24) -> r24:r25 = address; halts the task on exhaustion
+; ---- (an allocation failure is a programming error in this model) ----
+alloc:
+    lds r18, brk
+    lds r19, brk+1
+    ; new break = brk + size
+    add r18, r24
+    clr r17
+    adc r19, r17
+    ; bounds: new break must stay within the pool
+    cpi r18, lo8(pool+168)
+    ldi r17, hi8(pool+168)
+    cpc r19, r17
+    brlo allocok
+    brne allocfail
+allocok:
+    lds r24, brk
+    lds r25, brk+1
+    sts brk, r18
+    sts brk+1, r19
+    ret
+allocfail:
+    break                ; out of pool: treated as fatal
+`, nodes)
+	return asm.Assemble(fmt.Sprintf("allocdemo-%d", nodes), src)
+}

@@ -1,0 +1,146 @@
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+)
+
+// PeriodicParams configures the PeriodicTask program of Section V-C: a
+// periodic event triggers a computational task of configurable size, the
+// common operating pattern of sensornet applications.
+type PeriodicParams struct {
+	// Instructions is the computation size per activation (the paper sweeps
+	// 10,000..100,000).
+	Instructions int
+	// Activations is how many periodic activations to run (the paper uses
+	// 300).
+	Activations int
+	// PeriodTicks is the activation period in Timer3 ticks (clk/8);
+	// default 24576 ticks = 196,608 cycles ≈ 26.7 ms.
+	PeriodTicks int
+}
+
+func (p *PeriodicParams) setDefaults() {
+	if p.Activations == 0 {
+		p.Activations = 300
+	}
+	if p.PeriodTicks == 0 {
+		p.PeriodTicks = 24576
+	}
+}
+
+// computeBody is the calibrated computation kernel: each inner-loop
+// iteration executes 4 instructions (add, eor, dec, brne), so the iteration
+// count is Instructions/4. The iteration count is split into a 16-bit value.
+const periodicTemplate = `
+.equ ITER, %d
+.equ ACTS, %d
+.equ PERIOD, %d
+.data
+done:  .space 2          ; completed activations
+late:  .space 2          ; activations that started past their deadline
+.text
+main:
+%s
+    ; next = now + PERIOD
+    lds r10, TCNT3L
+    lds r11, TCNT3H
+    ldi r16, lo8(PERIOD)
+    add r10, r16
+    ldi r16, hi8(PERIOD)
+    adc r11, r16
+    ldi r20, lo8(ACTS)
+    ldi r21, hi8(ACTS)
+activation:
+    ; ---- computational task: ITER iterations x 4 instructions ----
+    ldi r24, lo8(ITER)
+    ldi r25, hi8(ITER)
+    clr r2
+    clr r3
+compute:
+    add r2, r3
+    eor r3, r2
+    subi r24, 1
+    sbci r25, 0
+    brne compute
+    ; ---- bookkeeping ----
+    lds r16, done
+    lds r17, done+1
+    subi r16, 0xFF
+    sbci r17, 0xFF
+    sts done, r16
+    sts done+1, r17
+    ; lateness check: now - next >= 0 means we missed the deadline
+    lds r24, TCNT3L
+    lds r25, TCNT3H
+    movw r12, r24        ; keep "now" for deadline resync
+    sub r24, r10
+    sbc r25, r11
+    brmi ontime
+    lds r16, late
+    lds r17, late+1
+    subi r16, 0xFF
+    sbci r17, 0xFF
+    sts late, r16
+    sts late+1, r17
+    movw r10, r12        ; overrun: resynchronize the schedule to now
+ontime:
+    ; ---- wait for the next period ----
+waitloop:
+    lds r24, TCNT3L
+    lds r25, TCNT3H
+    sub r24, r10
+    sbc r25, r11
+    brpl periodup
+    sleep
+    rjmp waitloop
+periodup:
+    ; next += PERIOD
+    ldi r16, lo8(PERIOD)
+    add r10, r16
+    ldi r16, hi8(PERIOD)
+    adc r11, r16
+    subi r20, 1
+    sbci r21, 0
+    brne activation
+    break
+%s
+`
+
+// PeriodicTask builds the SenSmart/t-kernel variant of the PeriodicTask
+// program: it paces itself on the (virtualized) Timer3 clock and yields with
+// SLEEP, which the kernel turns into a scheduling quantum.
+func PeriodicTask(p PeriodicParams) *image.Program {
+	p.setDefaults()
+	src := fmt.Sprintf(periodicTemplate, p.Instructions/4, p.Activations, p.PeriodTicks, "", "")
+	return asm.MustAssemble(fmt.Sprintf("periodic-%dk", p.Instructions/1000), src)
+}
+
+// PeriodicTaskNative builds the bare-metal variant: identical pacing and
+// computation, but SLEEP wake-ups come from a real Timer0 overflow interrupt
+// (the kernel-less machine needs a hardware wake source).
+func PeriodicTaskNative(p PeriodicParams) *image.Program {
+	p.setDefaults()
+	prologue := `
+    ; Arm Timer0 as the sleep wake-up source: clk/32 -> overflow every 8192
+    ; cycles.
+    ldi r16, 3
+    out TCCR0, r16
+    ldi r16, 1
+    out TIMSK, r16
+    sei
+`
+	src := fmt.Sprintf(periodicTemplate,
+		p.Instructions/4, p.Activations, p.PeriodTicks, prologue, "")
+	// Prepend the vector table: reset jumps to main; the Timer0 overflow
+	// vector holds a bare RETI (the interrupt only wakes the sleeper).
+	src = `
+    jmp main
+.org 2
+    reti                 ; timer0 overflow: wake only
+.org 4
+` + src[1:]
+	return asm.MustAssemble(fmt.Sprintf("periodic-native-%dk", p.Instructions/1000), src)
+}

@@ -1,0 +1,493 @@
+// Package progs contains the benchmark applications of the paper's
+// evaluation: the seven kernel benchmark programs used by the t-kernel and
+// SenSmart (Section V-C), the PeriodicTask program with configurable
+// computation size, and the sense-and-send binary-tree workload of the
+// stack-versatility experiments (Section V-D).
+//
+// Every program is written in AVR assembly and runs both natively on the
+// bare simulator and naturalized under the SenSmart kernel: the end of the
+// workload is marked with BREAK, which stops a native run and exits the
+// task under the kernel.
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+)
+
+// reportLib is the shared sense-and-send postprocessing tail every kernel
+// benchmark ends with: an EWMA smoother, range clamping, and hex-formatted
+// UART reporting — the register-heavy glue code that dominates real mote
+// applications (and that the rewriter leaves untouched).
+const reportLib = `
+; ---- report16: smooth, clamp and transmit the 16-bit result in r25:r24 ----
+report16:
+    push r16
+    push r17
+    push r24
+    push r25
+    ; EWMA smoothing: s += (x - s) / 4, with s in r8:r9
+    mov r16, r24
+    mov r17, r25
+    sub r16, r8
+    sbc r17, r9
+    asr r17
+    ror r16
+    asr r17
+    ror r16
+    add r8, r16
+    adc r9, r17
+    ; clamp the sample to 12 bits (sensor range postcondition)
+    ldi r16, 0x0F
+    cpi r25, 0x10
+    brlo clamped
+    mov r25, r16
+    ser r16
+    mov r24, r16
+clamped:
+    ; scale by 3/4: y = x - x/4 (pure register arithmetic)
+    mov r16, r24
+    mov r17, r25
+    asr r17
+    ror r16
+    asr r17
+    ror r16
+    sub r24, r16
+    sbc r25, r17
+    ; transmit "R" hhhh "\n"
+    ldi r16, 'R'
+    rcall putc
+    mov r16, r25
+    rcall puthex8
+    mov r16, r24
+    rcall puthex8
+    ldi r16, 10
+    rcall putc
+    pop r25
+    pop r24
+    pop r17
+    pop r16
+    ret
+
+; ---- puthex8: transmit r16 as two hex digits ----
+puthex8:
+    push r16
+    swap r16
+    rcall puthexn
+    pop r16
+puthexn:
+    andi r16, 0x0F
+    cpi r16, 10
+    brlo hexdigit
+    subi r16, -7         ; 'A' - '9' - 1
+hexdigit:
+    subi r16, -48        ; + '0'
+; ---- putc: poll UDRE and transmit r16 ----
+putc:
+    in r17, UCSR0A
+    sbrs r17, 5
+    rjmp putc
+    out UDR0, r16
+    ret
+`
+
+// LFSR generates `rounds` steps of a 16-bit Galois LFSR — the "lfsr" kernel
+// benchmark. The final state is stored at the heap symbol "out".
+func LFSR(rounds int) *image.Program {
+	src := fmt.Sprintf(`
+.equ ROUNDS, %d
+.data
+out: .space 2
+.text
+main:
+    ldi r24, 0xE1        ; state = 0xACE1
+    ldi r25, 0xAC
+    ldi r16, lo8(ROUNDS)
+    ldi r17, hi8(ROUNDS)
+loop:
+    lsr r25
+    ror r24
+    brcc noxor
+    ldi r18, 0xB4        ; Galois taps 0xB400
+    eor r25, r18
+noxor:
+    subi r16, 1
+    sbci r17, 0
+    brne loop
+    sts out, r24
+    sts out+1, r25
+    rcall report16
+    break
+`+reportLib, rounds)
+	return asm.MustAssemble(fmt.Sprintf("lfsr-%d", rounds), src)
+}
+
+// CRC computes CRC16-CCITT over a 64-byte message `repeat` times — the
+// "crc" kernel benchmark. The final CRC is stored at "crc".
+func CRC(repeat int) *image.Program {
+	src := fmt.Sprintf(`
+.equ REPEAT, %d
+.data
+msg: .space 64
+crc: .space 2
+.text
+main:
+    ldi r26, lo8(msg)    ; fill the message deterministically
+    ldi r27, hi8(msg)
+    ldi r16, 64
+    ldi r17, 1
+fill:
+    st X+, r17
+    subi r17, -7
+    dec r16
+    brne fill
+    ldi r20, lo8(REPEAT)
+    ldi r21, hi8(REPEAT)
+outer:
+    ldi r24, 0xFF        ; crc = 0xFFFF
+    ldi r25, 0xFF
+    ldi r26, lo8(msg)
+    ldi r27, hi8(msg)
+    ldi r16, 64
+byteloop:
+    ld r18, X+
+    eor r25, r18
+    ldi r17, 8
+bitloop:
+    lsl r24
+    rol r25
+    brcc nopoly
+    ldi r18, 0x21        ; polynomial 0x1021
+    eor r24, r18
+    ldi r18, 0x10
+    eor r25, r18
+nopoly:
+    dec r17
+    brne bitloop
+    dec r16
+    brne byteloop
+    subi r20, 1
+    sbci r21, 0
+    brne outer
+    sts crc, r24
+    sts crc+1, r25
+    rcall report16
+    break
+`+reportLib, repeat)
+	return asm.MustAssemble(fmt.Sprintf("crc-%d", repeat), src)
+}
+
+// Amplitude samples the ADC `samples` times and tracks min/max — the
+// "amplitude" kernel benchmark. Results land at "minv"/"maxv"/"amp".
+func Amplitude(samples int) *image.Program {
+	src := fmt.Sprintf(`
+.equ SAMPLES, %d
+.data
+minv: .space 2
+maxv: .space 2
+amp:  .space 2
+.text
+main:
+    ldi r20, lo8(SAMPLES)
+    ldi r21, hi8(SAMPLES)
+    ldi r24, 0xFF        ; min = 0x03FF
+    ldi r25, 0x03
+    clr r22              ; max = 0
+    clr r23
+sample:
+    ldi r16, 0xC0        ; ADEN|ADSC
+    out ADCSRA, r16
+wait:
+    in r16, ADCSRA
+    sbrc r16, 6
+    rjmp wait
+    in r18, ADCL
+    in r19, ADCH
+    cp r18, r24          ; sample < min?
+    cpc r19, r25
+    brsh notmin
+    mov r24, r18
+    mov r25, r19
+notmin:
+    cp r22, r18          ; max < sample?
+    cpc r23, r19
+    brsh notmax
+    mov r22, r18
+    mov r23, r19
+notmax:
+    subi r20, 1
+    sbci r21, 0
+    brne sample
+    sts minv, r24
+    sts minv+1, r25
+    sts maxv, r22
+    sts maxv+1, r23
+    sub r22, r24         ; amplitude = max - min
+    sbc r23, r25
+    sts amp, r22
+    sts amp+1, r23
+    movw r24, r22
+    rcall report16
+    break
+`+reportLib, samples)
+	return asm.MustAssemble(fmt.Sprintf("amplitude-%d", samples), src)
+}
+
+// ReadADC accumulates `samples` ADC conversions into a 16-bit sum — the
+// "readadc" kernel benchmark. The sum is stored at "sum".
+func ReadADC(samples int) *image.Program {
+	src := fmt.Sprintf(`
+.equ SAMPLES, %d
+.data
+sum: .space 2
+.text
+main:
+    ldi r20, lo8(SAMPLES)
+    ldi r21, hi8(SAMPLES)
+    clr r24              ; sum = 0
+    clr r25
+sample:
+    ldi r16, 0xC0
+    out ADCSRA, r16
+wait:
+    in r16, ADCSRA
+    sbrc r16, 6
+    rjmp wait
+    in r18, ADCL
+    in r19, ADCH
+    add r24, r18
+    adc r25, r19
+    subi r20, 1
+    sbci r21, 0
+    brne sample
+    sts sum, r24
+    sts sum+1, r25
+    rcall report16
+    break
+`+reportLib, samples)
+	return asm.MustAssemble(fmt.Sprintf("readadc-%d", samples), src)
+}
+
+// AM builds and transmits `packets` 29-byte active-message packets over the
+// radio — the "am" kernel benchmark. The packet counter ends at "sent".
+func AM(packets int) *image.Program {
+	src := fmt.Sprintf(`
+.equ PACKETS, %d
+.data
+pkt:  .space 29          ; dest(2) type(1) group(1) len(1) payload(22) crc(2)
+sent: .space 2
+.text
+main:
+    ldi r20, lo8(PACKETS)
+    ldi r21, hi8(PACKETS)
+    ldi r22, 0x11        ; payload seed
+nextpkt:
+    ; Build the packet header and payload.
+    ldi r26, lo8(pkt)
+    ldi r27, hi8(pkt)
+    ldi r16, 0xFF        ; broadcast dest
+    st X+, r16
+    st X+, r16
+    ldi r16, 0x05        ; AM type
+    st X+, r16
+    ldi r16, 0x7D        ; group
+    st X+, r16
+    ldi r16, 22          ; payload length
+    st X+, r16
+    ldi r17, 22
+    clr r24              ; checksum
+payload:
+    st X+, r22
+    add r24, r22
+    subi r22, -13
+    dec r17
+    brne payload
+    st X+, r24           ; 2-byte additive checksum
+    clr r16
+    st X+, r16
+    ; Transmit the packet byte-by-byte.
+    ldi r26, lo8(pkt)
+    ldi r27, hi8(pkt)
+    ldi r17, 29
+txloop:
+    in r16, RSR
+    sbrs r16, 0          ; TX ready?
+    rjmp txloop
+    ld r16, X+
+    out RDR, r16
+    dec r17
+    brne txloop
+    lds r18, sent
+    lds r19, sent+1
+    subi r18, 0xFF       ; 16-bit increment
+    sbci r19, 0xFF
+    sts sent, r18
+    sts sent+1, r19
+    subi r20, 1
+    sbci r21, 0
+    brne nextpkt
+    lds r24, sent
+    lds r25, sent+1
+    rcall report16
+    break
+`+reportLib, packets)
+	return asm.MustAssemble(fmt.Sprintf("am-%d", packets), src)
+}
+
+// EventChain dispatches `rounds` rounds through a four-handler event table
+// via indirect calls — the "eventchain" kernel benchmark, modelling the
+// split-transaction event processing of TinyOS-style systems. The handler
+// table lives in the heap (as nesC task queues do) and every handler runs a
+// small signal-processing loop. Handler invocation counts land at "counts".
+func EventChain(rounds int) *image.Program {
+	src := fmt.Sprintf(`
+.equ ROUNDS, %d
+.data
+counts: .space 4
+htab:   .space 8         ; four 16-bit handler addresses
+.text
+main:
+    ; Initialize the in-RAM dispatch table, as an event system's init does.
+    ldi r16, lo8(h0)
+    sts htab+0, r16
+    ldi r16, hi8(h0)
+    sts htab+1, r16
+    ldi r16, lo8(h1)
+    sts htab+2, r16
+    ldi r16, hi8(h1)
+    sts htab+3, r16
+    ldi r16, lo8(h2)
+    sts htab+4, r16
+    ldi r16, hi8(h2)
+    sts htab+5, r16
+    ldi r16, lo8(h3)
+    sts htab+6, r16
+    ldi r16, hi8(h3)
+    sts htab+7, r16
+    ldi r20, lo8(ROUNDS)
+    ldi r21, hi8(ROUNDS)
+round:
+    clr r19              ; event index
+dispatch:
+    ; Fetch the handler address from the RAM table.
+    ldi r26, lo8(htab)
+    ldi r27, hi8(htab)
+    mov r16, r19
+    lsl r16              ; 2 bytes per entry
+    add r26, r16
+    clr r16
+    adc r27, r16
+    ld r30, X+
+    ld r31, X
+    icall
+    inc r19
+    cpi r19, 4
+    brne dispatch
+    subi r20, 1
+    sbci r21, 0
+    brne round
+    lds r24, counts+0
+    clr r25
+    rcall report16
+    break
+
+; Each handler bumps its counter and runs a short signal-processing loop
+; (the computational body a real event handler carries).
+h0:
+    lds r16, counts+0
+    inc r16
+    sts counts+0, r16
+    rjmp hwork
+h1:
+    lds r16, counts+1
+    inc r16
+    sts counts+1, r16
+    rjmp hwork
+h2:
+    lds r16, counts+2
+    inc r16
+    sts counts+2, r16
+    rjmp hwork
+h3:
+    lds r16, counts+3
+    inc r16
+    sts counts+3, r16
+; hwork: a 60-iteration smoothing loop over the handler scratch registers.
+hwork:
+    ldi r17, 60
+    clr r2
+    clr r3
+hloop:
+    add r2, r16
+    adc r3, r2
+    lsr r3
+    dec r17
+    brne hloop
+    ret
+`+reportLib, rounds)
+	return asm.MustAssemble(fmt.Sprintf("eventchain-%d", rounds), src)
+}
+
+// Timer waits for `overflows` Timer0 overflows at clk/64, toggling the LED
+// port each time — the "timer" kernel benchmark.
+func Timer(overflows int) *image.Program {
+	src := fmt.Sprintf(`
+.equ OVERFLOWS, %d
+.data
+ticks: .space 2
+.text
+main:
+    ldi r16, 4           ; clk/64
+    out TCCR0, r16
+    ldi r20, lo8(OVERFLOWS)
+    ldi r21, hi8(OVERFLOWS)
+wait:
+    in r17, TIFR
+    sbrs r17, 0          ; TOV0
+    rjmp wait
+    ldi r17, 1
+    out TIFR, r17
+    in r18, PINB         ; toggle the LED
+    ldi r19, 1
+    eor r18, r19
+    out PORTB, r18
+    lds r18, ticks
+    lds r19, ticks+1
+    subi r18, 0xFF
+    sbci r19, 0xFF
+    sts ticks, r18
+    sts ticks+1, r19
+    subi r20, 1
+    sbci r21, 0
+    brne wait
+    lds r24, ticks
+    lds r25, ticks+1
+    rcall report16
+    break
+`+reportLib, overflows)
+	return asm.MustAssemble(fmt.Sprintf("timer-%d", overflows), src)
+}
+
+// KernelBenchmark names one of the seven kernel benchmark programs with its
+// default parameters (sized so native runs take a few hundred ms of
+// simulated time, like the t-kernel study).
+type KernelBenchmark struct {
+	Name    string
+	Program *image.Program
+}
+
+// KernelBenchmarks returns the seven kernel benchmark programs of Figure 4
+// and Figure 5 with their default workload sizes.
+func KernelBenchmarks() []KernelBenchmark {
+	return []KernelBenchmark{
+		{"am", AM(40)},
+		{"amplitude", Amplitude(400)},
+		{"crc", CRC(120)},
+		{"eventchain", EventChain(600)},
+		{"lfsr", LFSR(30000)},
+		{"readadc", ReadADC(400)},
+		{"timer", Timer(40)},
+	}
+}

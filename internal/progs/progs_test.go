@@ -1,0 +1,274 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/mcu"
+)
+
+// lfsrModel is the reference Galois LFSR implementation.
+func lfsrModel(state uint16, rounds int) uint16 {
+	for i := 0; i < rounds; i++ {
+		bit := state & 1
+		state >>= 1
+		if bit != 0 {
+			state ^= 0xB400
+		}
+	}
+	return state
+}
+
+func TestLFSRMatchesModel(t *testing.T) {
+	for _, rounds := range []int{1, 100, 5000} {
+		prog := LFSR(rounds)
+		res, err := RunNative(prog, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HeapWord(res.Machine, prog, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lfsrModel(0xACE1, rounds)
+		if got != want {
+			t.Errorf("lfsr(%d) = %#x, want %#x", rounds, got, want)
+		}
+	}
+}
+
+// crcModel is the reference CRC16-CCITT (MSB-first) implementation.
+func crcModel(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+func TestCRCMatchesModel(t *testing.T) {
+	prog := CRC(3)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := HeapWord(res.Machine, prog, "crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 64)
+	v := byte(1)
+	for i := range msg {
+		msg[i] = v
+		v += 7
+	}
+	if want := crcModel(msg); got != want {
+		t.Errorf("crc = %#x, want %#x", got, want)
+	}
+}
+
+func TestAmplitudeMinMax(t *testing.T) {
+	prog := Amplitude(50)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minv, _ := HeapWord(res.Machine, prog, "minv")
+	maxv, _ := HeapWord(res.Machine, prog, "maxv")
+	amp, _ := HeapWord(res.Machine, prog, "amp")
+	if minv > maxv {
+		t.Errorf("min %d > max %d", minv, maxv)
+	}
+	if maxv > 0x3FF {
+		t.Errorf("max %d beyond 10-bit ADC", maxv)
+	}
+	if amp != maxv-minv {
+		t.Errorf("amp = %d, want %d", amp, maxv-minv)
+	}
+}
+
+func TestReadADCAccumulates(t *testing.T) {
+	prog := ReadADC(20)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := HeapWord(res.Machine, prog, "sum")
+	if sum == 0 {
+		t.Error("adc sum is zero")
+	}
+	// 20 conversions at ~1664 cycles each dominate the runtime.
+	if res.Cycles < 20*mcu.ADCCycles {
+		t.Errorf("cycles = %d, want >= %d", res.Cycles, 20*mcu.ADCCycles)
+	}
+}
+
+func TestAMTransmitsPackets(t *testing.T) {
+	prog := AM(3)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, _ := HeapWord(res.Machine, prog, "sent")
+	if sent != 3 {
+		t.Errorf("sent = %d, want 3", sent)
+	}
+	frames := res.Machine.RadioOutput()
+	// 3 packets x 29 bytes; the final byte may still be in flight.
+	if len(frames) < 3*29-1 {
+		t.Errorf("radio frames = %d, want >= %d", len(frames), 3*29-1)
+	}
+	// Header of the first packet: dest 0xFFFF, type 5, group 0x7D, len 22.
+	if frames[0].Byte != 0xFF || frames[2].Byte != 0x05 || frames[3].Byte != 0x7D || frames[4].Byte != 22 {
+		t.Errorf("packet header wrong: % x", [5]byte{frames[0].Byte, frames[1].Byte, frames[2].Byte, frames[3].Byte, frames[4].Byte})
+	}
+}
+
+func TestEventChainHandlersBalanced(t *testing.T) {
+	prog := EventChain(10)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, ok := prog.Lookup("counts")
+	if !ok {
+		t.Fatal("no counts symbol")
+	}
+	for i := 0; i < 4; i++ {
+		if got := res.Machine.Peek(uint16(counts.Addr) + uint16(i)); got != 10 {
+			t.Errorf("handler %d count = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestTimerCountsOverflows(t *testing.T) {
+	prog := Timer(5)
+	res, err := RunNative(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks, _ := HeapWord(res.Machine, prog, "ticks")
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	// 5 overflows at 256*64 cycles each.
+	want := uint64(5 * 256 * 64)
+	if res.Cycles < want || res.Cycles > want+20_000 {
+		t.Errorf("cycles = %d, want ~%d", res.Cycles, want)
+	}
+}
+
+func TestPeriodicNativePacing(t *testing.T) {
+	p := PeriodicParams{Instructions: 10_000, Activations: 10, PeriodTicks: 4096}
+	prog := PeriodicTaskNative(p)
+	res, err := RunNative(prog, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := HeapWord(res.Machine, prog, "done")
+	late, _ := HeapWord(res.Machine, prog, "late")
+	if done != 10 {
+		t.Errorf("done = %d, want 10", done)
+	}
+	if late != 0 {
+		t.Errorf("late = %d, want 0 (10k instructions fit a 4096-tick period)", late)
+	}
+	// Total time ~ activations * period = 10 * 4096*8 cycles.
+	want := uint64(10 * 4096 * 8)
+	if res.Cycles < want-40_000 || res.Cycles > want+80_000 {
+		t.Errorf("cycles = %d, want ~%d", res.Cycles, want)
+	}
+	// Light load must be mostly idle.
+	if res.IdleCycles < res.Cycles/2 {
+		t.Errorf("idle = %d of %d cycles; expected a mostly idle run", res.IdleCycles, res.Cycles)
+	}
+}
+
+func TestPeriodicSaturates(t *testing.T) {
+	// A computation far bigger than the period must mark activations late.
+	p := PeriodicParams{Instructions: 60_000, Activations: 5, PeriodTicks: 2048}
+	prog := PeriodicTaskNative(p)
+	res, err := RunNative(prog, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, _ := HeapWord(res.Machine, prog, "late")
+	if late == 0 {
+		t.Error("expected late activations under saturation")
+	}
+}
+
+func TestTreeSearchNative(t *testing.T) {
+	prog, err := TreeSearch(TreeSearchParams{Trees: 2, NodesPerTree: 20, Searches: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNative(prog, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searches, _ := HeapWord(res.Machine, prog, "searches")
+	found, _ := HeapWord(res.Machine, prog, "found")
+	nodes, _ := HeapByte(res.Machine, prog, "nodecount")
+	if searches < 200 {
+		t.Errorf("searches = %d, want >= 200", searches)
+	}
+	if nodes != 40 {
+		t.Errorf("nodecount = %d, want 40 (arena filled)", nodes)
+	}
+	if found == 0 {
+		t.Error("no search ever hit; tree routing is broken")
+	}
+	if found >= searches {
+		t.Errorf("found %d >= searches %d", found, searches)
+	}
+}
+
+func TestTreeSearchRejectsOversizedArena(t *testing.T) {
+	if _, err := TreeSearch(TreeSearchParams{Trees: 6, NodesPerTree: 60}); err == nil {
+		t.Error("expected arena-size error")
+	}
+}
+
+func TestKernelBenchmarksAssemble(t *testing.T) {
+	for _, kb := range KernelBenchmarks() {
+		if err := kb.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", kb.Name, err)
+		}
+		if kb.Program.SizeBytes() < 30 {
+			t.Errorf("%s: suspiciously small (%d bytes)", kb.Name, kb.Program.SizeBytes())
+		}
+	}
+}
+
+func TestAllocDemoNativeAndLimits(t *testing.T) {
+	prog, err := AllocDemo(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNative(prog, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := HeapWord(res.Machine, prog, "sum")
+	want := uint16(3 * 10 * 9 / 2) // payloads 0,3,6,...,27
+	if sum != want {
+		t.Errorf("alloc demo sum = %d, want %d", sum, want)
+	}
+	iters, _ := HeapByte(res.Machine, prog, "iters")
+	if iters != 3 {
+		t.Errorf("iterations = %d, want 3 (pool reset between cycles)", iters)
+	}
+	if _, err := AllocDemo(0); err == nil {
+		t.Error("expected node-count validation error")
+	}
+	if _, err := AllocDemo(100); err == nil {
+		t.Error("expected node-count validation error")
+	}
+}

@@ -1,0 +1,283 @@
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+)
+
+// TreeSearchParams configures the sense-and-send binary-tree workload of
+// Section V-D. Each task owns a node arena in its heap (SenSmart gives every
+// task an isolated region, so the paper's shared data-feeding step is folded
+// into each task: a feed phase builds the trees, then searches recurse over
+// them). Every recursion level consumes exactly 15 stack bytes, matching the
+// paper's workload description.
+type TreeSearchParams struct {
+	// Trees is the number of binary trees (6 in Figure 7, 2 in Figure 8).
+	Trees int
+	// NodesPerTree is swept along the x-axis of Figures 7/8. Trees*NodesPerTree
+	// must stay below 255 (byte node indices).
+	NodesPerTree int
+	// Seed differentiates the pseudo-random insert/search streams between
+	// task instances.
+	Seed uint16
+	// Searches bounds the number of searches before the task exits; 0 runs
+	// forever (the harness stops the clock instead).
+	Searches int
+}
+
+func (p *TreeSearchParams) setDefaults() {
+	if p.Trees == 0 {
+		p.Trees = 6
+	}
+	if p.NodesPerTree == 0 {
+		p.NodesPerTree = 24
+	}
+	if p.Seed == 0 {
+		p.Seed = 0xACE1
+	}
+}
+
+// TreeSearch builds one sense-and-send task.
+func TreeSearch(p TreeSearchParams) (*image.Program, error) {
+	p.setDefaults()
+	maxNodes := p.Trees * p.NodesPerTree
+	if maxNodes > 254 {
+		return nil, fmt.Errorf("progs: %d nodes exceed the byte-index arena", maxNodes)
+	}
+	stopCheck := ""
+	if p.Searches > 0 {
+		stopCheck = fmt.Sprintf(`
+    lds r16, searches
+    lds r17, searches+1
+    cpi r16, lo8(%d)
+    ldi r18, hi8(%d)
+    cpc r17, r18
+    brlo keepgoing
+    break
+keepgoing:`, p.Searches, p.Searches)
+	}
+	src := fmt.Sprintf(`
+.equ TREES, %d
+.equ MAXNODES, %d
+.equ SEED, %d
+.data
+seed:      .space 2
+nodecount: .space 1
+searches:  .space 2
+found:     .space 2
+roots:     .space TREES
+arena:     .space %d        ; MAXNODES nodes x 3 bytes {key, left, right}
+.text
+main:
+    ; seed the PRNG and clear the roots
+    ldi r16, lo8(SEED)
+    sts seed, r16
+    ldi r16, hi8(SEED)
+    sts seed+1, r16
+    ldi r16, 0xFF
+    ldi r26, lo8(roots)
+    ldi r27, hi8(roots)
+    ldi r17, TREES
+clearroots:
+    st X+, r16
+    dec r17
+    brne clearroots
+
+mloop:
+    ; ---- feed phase: insert one random key while the arena has room ----
+    rcall rand16             ; r24:r25 random
+    lds r16, nodecount
+    cpi r16, MAXNODES
+    brsh dosearch
+    rcall modtrees           ; r25 -> tree index 0..TREES-1
+    rcall insert             ; key r24 into tree r25
+dosearch:
+    ; ---- search phase: recursive lookup of a random key ----
+    rcall rand16
+    mov r20, r24             ; key
+    rcall modtrees
+    ; r24 = root index of tree r25
+    ldi r26, lo8(roots)
+    ldi r27, hi8(roots)
+    add r26, r25
+    clr r16
+    adc r27, r16
+    ld r24, X
+    clr r14                  ; result flag
+    rcall search
+    ; account the search (and the hit, for sanity checking)
+    lds r16, searches
+    lds r17, searches+1
+    subi r16, 0xFF
+    sbci r17, 0xFF
+    sts searches, r16
+    sts searches+1, r17
+    tst r14
+    breq nothit
+    lds r16, found
+    lds r17, found+1
+    subi r16, 0xFF
+    sbci r17, 0xFF
+    sts found, r16
+    sts found+1, r17
+nothit:%s
+    rjmp mloop
+
+; ---- rand16: one Galois LFSR step on the heap seed; result in r24:r25 ----
+rand16:
+    lds r24, seed
+    lds r25, seed+1
+    lsr r25
+    ror r24
+    brcc randnoxor
+    ldi r18, 0xB4
+    eor r25, r18
+randnoxor:
+    sts seed, r24
+    sts seed+1, r25
+    ret
+
+; ---- modtrees: r25 %%= TREES ----
+modtrees:
+    cpi r25, TREES
+    brlo moddone
+    subi r25, TREES
+    rjmp modtrees
+moddone:
+    ret
+
+; ---- insert(key=r24, tree=r25): allocate a node and attach it ----
+insert:
+    lds r16, nodecount       ; new node index
+    mov r17, r16
+    inc r17
+    sts nodecount, r17
+    ; node address = arena + idx*3 -> X
+    mov r26, r16
+    clr r27
+    lsl r26
+    rol r27
+    add r26, r16
+    clr r18
+    adc r27, r18
+    subi r26, lo8(-(arena))
+    sbci r27, hi8(-(arena))
+    st X+, r24               ; key
+    ldi r18, 0xFF
+    st X+, r18               ; left = nil
+    st X, r18                ; right = nil
+    ; root pointer cell -> X
+    ldi r26, lo8(roots)
+    ldi r27, hi8(roots)
+    add r26, r25
+    clr r18
+    adc r27, r18
+    ld r17, X
+    cpi r17, 0xFF
+    brne walk
+    st X, r16                ; empty tree: new node becomes root
+    ret
+walk:
+    ; Z = arena + cur*3
+    mov r30, r17
+    clr r31
+    lsl r30
+    rol r31
+    add r30, r17
+    clr r18
+    adc r31, r18
+    subi r30, lo8(-(arena))
+    sbci r31, hi8(-(arena))
+    ldd r19, Z+0             ; node key
+    cp r24, r19
+    brlo goleft
+    ldd r22, Z+2             ; right child
+    cpi r22, 0xFF
+    brne rdesc
+    std Z+2, r16             ; attach right
+    ret
+rdesc:
+    mov r17, r22
+    rjmp walk
+goleft:
+    ldd r21, Z+1             ; left child
+    cpi r21, 0xFF
+    brne ldesc
+    std Z+1, r16             ; attach left
+    ret
+ldesc:
+    mov r17, r21
+    rjmp walk
+
+; ---- search(node=r24, key=r20): recursive descent, 15 B per level ----
+; Sets r14 when the key is found. Clobbers nothing else for the caller.
+search:
+    push r24
+    push r25
+    push r26
+    push r27
+    push r28
+    push r29
+    push r30
+    push r31
+    push r16
+    push r17
+    push r18
+    push r19
+    push r15                 ; 13 pushes + 2 return bytes = 15 per level
+    cpi r24, 0xFF
+    breq srchdone
+    ; Z = arena + node*3
+    mov r30, r24
+    clr r31
+    lsl r30
+    rol r31
+    add r30, r24
+    clr r18
+    adc r31, r18
+    subi r30, lo8(-(arena))
+    sbci r31, hi8(-(arena))
+    ldd r19, Z+0
+    cp r20, r19
+    breq srchfound
+    brlo srchleft
+    ldd r24, Z+2             ; descend right
+    rcall search
+    rjmp srchdone
+srchleft:
+    ldd r24, Z+1             ; descend left
+    rcall search
+    rjmp srchdone
+srchfound:
+    ldi r16, 1
+    mov r14, r16
+srchdone:
+    pop r15
+    pop r19
+    pop r18
+    pop r17
+    pop r16
+    pop r31
+    pop r30
+    pop r29
+    pop r28
+    pop r27
+    pop r26
+    pop r25
+    pop r24
+    ret
+`, p.Trees, maxNodes, p.Seed, 3*maxNodes, stopCheck)
+	name := fmt.Sprintf("treesearch-t%d-n%d-s%04x", p.Trees, p.NodesPerTree, p.Seed)
+	return asm.Assemble(name, src)
+}
+
+// MustTreeSearch is TreeSearch for known-good parameters.
+func MustTreeSearch(p TreeSearchParams) *image.Program {
+	prog, err := TreeSearch(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

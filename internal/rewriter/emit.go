@@ -1,0 +1,274 @@
+package rewriter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/image"
+)
+
+// emit produces the naturalized image after layout has stabilized.
+func emit(prog *image.Program, units []unit, index map[uint32]int, cfg Config) (*Naturalized, error) {
+	nat := &Naturalized{Orig: prog}
+
+	// Build the shift table from the 1-word instructions that inflated.
+	var inflations []uint32
+	for i := range units {
+		u := &units[i]
+		if u.patch != nil && !u.isData && u.in.Words() == 1 {
+			inflations = append(inflations, u.pc)
+		}
+	}
+	nat.Shift = NewShiftTable(inflations)
+
+	mapAddr := func(orig uint32) (uint32, error) {
+		j, ok := index[orig]
+		if !ok {
+			return 0, fmt.Errorf("rewriter: %s: target %#x is mid-instruction", prog.Name, orig)
+		}
+		return units[j].natPC, nil
+	}
+
+	// Assign local ids and finish patch records.
+	var localID uint16
+	for i := range units {
+		u := &units[i]
+		if u.patch == nil {
+			continue
+		}
+		p := u.patch
+		p.Local = localID
+		localID++
+		p.NatPC = u.natPC
+		p.NatNext = u.natPC + 2
+		for k := 1; k < len(p.Group); k++ {
+			p.NatNext += uint32(p.Group[k].Words())
+		}
+		switch p.Class {
+		case ClassBranch, ClassCall:
+			t, err := mapAddr(p.OrigTarget)
+			if err != nil {
+				return nil, err
+			}
+			p.NatTarget = t
+		}
+		p.TrampKey = trampKey(p, cfg)
+		nat.Patches = append(nat.Patches, p)
+	}
+
+	// Emit the patched code region.
+	var words []uint16
+	for i := range units {
+		u := &units[i]
+		if int(u.natPC) != len(words) {
+			return nil, fmt.Errorf("rewriter: %s: layout drift at %#x", prog.Name, u.pc)
+		}
+		switch {
+		case u.isData:
+			words = append(words, u.raw)
+		case u.patch != nil:
+			w, err := avr.Encode(avr.Inst{Op: avr.OpKtrap, Imm: int32(u.patch.Local)})
+			if err != nil {
+				return nil, err
+			}
+			words = append(words, w...)
+		case u.member:
+			// Grouped members keep their original bytes; the group leader's
+			// kernel service executes them and jumps past.
+			w, err := avr.Encode(u.in)
+			if err != nil {
+				return nil, err
+			}
+			words = append(words, w...)
+		default:
+			w, err := reencode(u, units, index, mapAddr, nat)
+			if err != nil {
+				return nil, err
+			}
+			words = append(words, w...)
+		}
+	}
+	nat.CodeWords = len(words)
+
+	// Append merged trampoline bodies (size-accounting regions; the KTRAP
+	// slots dispatch directly to the kernel services). A shared body serves
+	// every site with the same key; site-specific constants (branch targets,
+	// heap addresses) live in small per-site table entries next to it.
+	seen := make(map[string]int) // key -> index into nat.Trampolines
+	perSite := 0
+	for _, p := range nat.Patches {
+		shared, site := trampolineWords(p)
+		perSite += site
+		if shared == 0 {
+			continue
+		}
+		if idx, ok := seen[p.TrampKey]; ok && !cfg.NoTrampolineMerge {
+			nat.Trampolines[idx].Sites++
+			continue
+		}
+		seen[p.TrampKey] = len(nat.Trampolines)
+		nat.Trampolines = append(nat.Trampolines, Trampoline{Key: p.TrampKey, Words: shared, Sites: 1})
+	}
+	for _, tr := range nat.Trampolines {
+		nat.TrampolineWords += tr.Words
+	}
+	nat.TrampolineWords += perSite
+	for i := 0; i < nat.TrampolineWords; i++ {
+		words = append(words, 0x0000) // NOP filler standing in for the body
+	}
+
+	// Append the shift table blob: one flash word per inflation entry.
+	nat.ShiftWords = nat.Shift.Len()
+	for _, a := range nat.Shift.Entries() {
+		words = append(words, uint16(a))
+	}
+
+	// Assemble the output program with remapped symbols.
+	out := prog.Clone()
+	out.Words = words
+	entry, err := mapAddr(prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	out.Entry = entry
+	for i := range out.Symbols {
+		if out.Symbols[i].Kind != image.SymCode {
+			continue
+		}
+		a, err := mapAddr(out.Symbols[i].Addr)
+		if err != nil {
+			return nil, err
+		}
+		out.Symbols[i].Addr = a
+	}
+	var ranges []image.Range
+	for _, r := range prog.TextData {
+		start := nat.Shift.Map(r.Start)
+		ranges = append(ranges, image.Range{Start: start, End: start + (r.End - r.Start)})
+	}
+	out.TextData = ranges
+	nat.Program = out
+	return nat, nil
+}
+
+// reencode re-emits a kept instruction, fixing control-transfer targets for
+// the shifted layout.
+func reencode(u *unit, units []unit, index map[uint32]int,
+	mapAddr func(uint32) (uint32, error), nat *Naturalized) ([]uint16, error) {
+	in := u.in
+	switch in.Op {
+	case avr.OpRjmp, avr.OpBrbs, avr.OpBrbc:
+		t, err := mapAddr(in.RelTarget(u.pc))
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = int32(int64(t) - int64(u.natPC) - 1)
+	case avr.OpJmp, avr.OpCall:
+		t, err := mapAddr(uint32(in.Imm))
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = int32(t)
+		// The absolute word needs the flash base added at link time.
+		nat.Relocs = append(nat.Relocs, u.natPC+1)
+	}
+	return avr.Encode(in)
+}
+
+// trampolineWords models the size of the real trampoline a patch site jumps
+// through on the mote: a shared body (merged across identical sites, even
+// across programs — Section IV-A) plus a small per-site table entry for
+// constants the body parameterizes over (branch target, call target, heap
+// address). The body sizes follow the operations Section IV describes:
+// context-preserving prologue/epilogue, counter update or address
+// translation, bounds check, and the re-executed original operation.
+func trampolineWords(p *Patch) (shared, site int) {
+	switch p.Class {
+	case ClassBranch:
+		if p.Orig.Op == avr.OpBrbs || p.Orig.Op == avr.OpBrbc {
+			return 12, 2 // shared eval+counter body; per-site target pair
+		}
+		return 8, 2
+	case ClassIndirectJump:
+		return 9, 0 // shift-table lookup + ijmp; fully shared
+	case ClassIndirectCall:
+		return 12, 0
+	case ClassCall:
+		return 10, 2 // shared stack check; per-site target+return pair
+	case ClassDirectIO:
+		return 0, 0 // rewritten in place; no trampoline body
+	case ClassDirectMem:
+		return 8, 1 // shared displacement+bounds body; per-site address
+	case ClassIndirectMem:
+		return 12 + 3*(len(p.Group)-1), 0 // translate once, run the group
+	case ClassSPRead:
+		return 4, 0
+	case ClassSPWrite:
+		return 6, 0
+	case ClassSleep:
+		return 3, 0
+	case ClassLpm:
+		return 9, 0 // program-memory translation + lpm
+	case ClassReservedIO:
+		return 6, 1
+	case ClassExit:
+		return 2, 0
+	}
+	return 0, 0
+}
+
+// trampKey builds the merge key: sites whose trampoline bodies would be
+// byte-identical share one body ("many trampolines are similar, they can be
+// merged", Section IV-A). Site-specific constants (targets, addresses) are
+// part of the key because they are baked into the body.
+func trampKey(p *Patch, cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", p.Class)
+	switch p.Class {
+	case ClassBranch:
+		// Site constants live in the per-site table; the body is shared per
+		// branch kind and condition.
+		fmt.Fprintf(&b, "|%s|%d", p.Orig.Op, p.Orig.Src)
+	case ClassCall:
+		fmt.Fprintf(&b, "|%s", p.Orig.Op)
+	case ClassIndirectJump, ClassIndirectCall, ClassSleep, ClassExit:
+		// Fully shared across sites (and across programs at link time).
+	case ClassDirectMem, ClassDirectIO, ClassReservedIO:
+		fmt.Fprintf(&b, "|%s|r%d", p.Orig.Op, p.Orig.Dst)
+	case ClassIndirectMem:
+		for _, in := range p.Group {
+			fmt.Fprintf(&b, "|%s", avr.Disasm(in))
+		}
+	case ClassSPRead, ClassSPWrite:
+		fmt.Fprintf(&b, "|r%d|%#x", p.Orig.Dst, p.Orig.Imm)
+	case ClassLpm:
+		fmt.Fprintf(&b, "|%s|r%d", p.Orig.Op, p.Orig.Dst)
+	}
+	if cfg.NoTrampolineMerge {
+		fmt.Fprintf(&b, "|site%#x", p.OrigPC)
+	}
+	return b.String()
+}
+
+// SharedTrampolineWords computes the total trampoline words when the given
+// naturalized programs are linked together on one node with cross-program
+// trampoline merging ("they can be merged to save space even if they belong
+// to different application programs", Section IV-A), alongside the
+// unshared per-program sum.
+func SharedTrampolineWords(nats ...*Naturalized) (shared, separate int) {
+	seen := make(map[string]bool)
+	for _, nat := range nats {
+		separate += nat.TrampolineWords
+		for _, p := range nat.Patches {
+			w, site := trampolineWords(p)
+			shared += site
+			if w == 0 || seen[p.TrampKey] {
+				continue
+			}
+			seen[p.TrampKey] = true
+			shared += w
+		}
+	}
+	return shared, separate
+}

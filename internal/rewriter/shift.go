@@ -1,0 +1,51 @@
+package rewriter
+
+import "sort"
+
+// ShiftTable is the paper's sorted array of inflation points: the original
+// word addresses of instructions that grew from 16 to 32 bits. The
+// naturalized address of any original program address is the address plus
+// the number of inflation points strictly before it.
+type ShiftTable struct {
+	inflations []uint32 // sorted original word addresses
+}
+
+// NewShiftTable builds a table from the (sorted or unsorted) inflation
+// addresses.
+func NewShiftTable(inflations []uint32) *ShiftTable {
+	t := &ShiftTable{inflations: append([]uint32(nil), inflations...)}
+	sort.Slice(t.inflations, func(i, j int) bool { return t.inflations[i] < t.inflations[j] })
+	return t
+}
+
+// Len returns the number of inflation entries (each costs one flash word).
+func (t *ShiftTable) Len() int { return len(t.inflations) }
+
+// Map translates an original program word address to its naturalized
+// address. This is the lookup the kernel performs for indirect branches,
+// charging the program-memory translation cost of Table II.
+func (t *ShiftTable) Map(orig uint32) uint32 {
+	// Binary search: count inflation points strictly below orig.
+	lo, hi := 0, len(t.inflations)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.inflations[mid] < orig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return orig + uint32(lo)
+}
+
+// MapByte translates an original program-memory byte address (as used by
+// LPM through Z) to its naturalized byte address.
+func (t *ShiftTable) MapByte(orig uint16) uint32 {
+	word := uint32(orig >> 1)
+	return t.Map(word)*2 + uint32(orig&1)
+}
+
+// Entries returns a copy of the inflation addresses (for the flash blob).
+func (t *ShiftTable) Entries() []uint32 {
+	return append([]uint32(nil), t.inflations...)
+}

@@ -1,0 +1,93 @@
+package rewriter
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMap is the obviously-correct reference for ShiftTable.Map.
+func naiveMap(inflations []uint32, orig uint32) uint32 {
+	n := uint32(0)
+	for _, a := range inflations {
+		if a < orig {
+			n++
+		}
+	}
+	return orig + n
+}
+
+func TestShiftTableMatchesNaiveCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(60)
+		points := make([]uint32, n)
+		for i := range points {
+			points[i] = uint32(r.Intn(4096))
+		}
+		tab := NewShiftTable(points)
+		for i := 0; i < 128; i++ {
+			orig := uint32(r.Intn(5000))
+			if got, want := tab.Map(orig), naiveMap(points, orig); got != want {
+				t.Logf("seed %d: Map(%d) = %d, want %d (points %v)", seed, orig, got, want, points)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftTableMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		points := make([]uint32, r.Intn(40))
+		for i := range points {
+			points[i] = uint32(r.Intn(1000))
+		}
+		tab := NewShiftTable(points)
+		prev := tab.Map(0)
+		for a := uint32(1); a < 1100; a++ {
+			cur := tab.Map(a)
+			if cur <= prev {
+				t.Logf("seed %d: Map not strictly increasing at %d: %d -> %d", seed, a, prev, cur)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftTableEntriesSortedCopy(t *testing.T) {
+	tab := NewShiftTable([]uint32{9, 3, 7, 1})
+	e := tab.Entries()
+	if !sort.SliceIsSorted(e, func(i, j int) bool { return e[i] < e[j] }) {
+		t.Errorf("entries not sorted: %v", e)
+	}
+	e[0] = 999 // mutating the copy must not affect the table
+	if tab.Map(2) != 3 {
+		t.Error("Entries returned an aliased slice")
+	}
+}
+
+func TestShiftTableMapByte(t *testing.T) {
+	tab := NewShiftTable([]uint32{4})
+	// Word 3 (bytes 6,7) is before the inflation point: unshifted.
+	if got := tab.MapByte(6); got != 6 {
+		t.Errorf("MapByte(6) = %d, want 6", got)
+	}
+	// Word 5 (bytes 10,11) is after: shifted by one word = two bytes.
+	if got := tab.MapByte(10); got != 12 {
+		t.Errorf("MapByte(10) = %d, want 12", got)
+	}
+	if got := tab.MapByte(11); got != 13 {
+		t.Errorf("MapByte(11) = %d, want 13 (odd byte preserved)", got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package sensmart is the public API of the SenSmart reproduction: a
+// multitasking operating system for wireless sensor networks built on
+// base-station binary rewriting and versatile stack management (Chu, Gu,
+// Liu, Li, Lu — "Versatile Stack Management for Multitasking Sensor
+// Networks", ICDCS 2010).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - Assemble: the AVR assembler (the "compiler" of the paper's Figure 1)
+//   - Rewrite: the base-station binary rewriter producing naturalized code
+//   - NewSystem: a simulated MICA2-class node with the SenSmart kernel,
+//     ready to deploy and run tasks
+//   - The benchmark programs and evaluation harnesses used to regenerate
+//     every table and figure of the paper (see EXPERIMENTS.md)
+//
+// Quickstart:
+//
+//	sys := sensmart.NewSystem()
+//	prog, err := sys.CompileString("hello", src)
+//	// handle err
+//	task, err := sys.Deploy(prog)
+//	// handle err
+//	if err := sys.Boot(); err != nil { ... }
+//	if err := sys.Run(10_000_000); err != nil { ... }
+//
+// See examples/ for runnable programs.
+package sensmart
+
+import (
+	"repro/internal/avr/asm"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/minic"
+	"repro/internal/rewriter"
+)
+
+// Core workflow types.
+type (
+	// System is a simulated node with the SenSmart kernel attached.
+	System = core.System
+	// Option configures NewSystem.
+	Option = core.Option
+	// Program is a compiled application image plus its symbol list.
+	Program = image.Program
+	// Naturalized is a rewritten (naturalized) program.
+	Naturalized = rewriter.Naturalized
+	// Task is one running application instance with its memory region.
+	Task = kernel.Task
+	// Machine is the simulated ATmega128L-class node.
+	Machine = mcu.Machine
+	// KernelConfig tunes the kernel runtime.
+	KernelConfig = kernel.Config
+	// RewriterConfig tunes the base-station rewriter.
+	RewriterConfig = rewriter.Config
+)
+
+// NewSystem creates a fresh simulated node with an attached SenSmart
+// kernel. See core.NewSystem.
+func NewSystem(opts ...Option) *System { return core.NewSystem(opts...) }
+
+// WithKernelConfig overrides the kernel configuration.
+func WithKernelConfig(cfg KernelConfig) Option { return core.WithKernelConfig(cfg) }
+
+// WithRewriterConfig overrides the rewriter configuration.
+func WithRewriterConfig(cfg RewriterConfig) Option { return core.WithRewriterConfig(cfg) }
+
+// Assemble compiles AVR assembly source into a program image.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// Rewrite naturalizes a program for execution under the SenSmart kernel
+// (the base-station rewriting stage of Figure 1).
+func Rewrite(prog *Program, cfg RewriterConfig) (*Naturalized, error) {
+	return rewriter.Rewrite(prog, cfg)
+}
+
+// NewMachine returns a bare simulated node (no kernel) for native runs.
+func NewMachine() *Machine { return mcu.New() }
+
+// CompileC compiles a minic (C subset) source file into a program image —
+// the paper's applications are written in C/nesC; internal/minic provides
+// that front end (see its package documentation for the supported subset).
+func CompileC(name, src string) (*Program, error) { return minic.Compile(name, src) }

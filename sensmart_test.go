@@ -1,0 +1,215 @@
+package sensmart
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+const facadeSrc = `
+.data
+value: .space 2
+.text
+main:
+    ldi r16, 42
+    sts value, r16
+    clr r16
+    sts value+1, r16
+park:
+    sleep
+    rjmp park
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := NewSystem()
+	prog, err := sys.CompileString("facade", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := sys.Naturalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nat.Patches) == 0 {
+		t.Fatal("no patches in naturalized program")
+	}
+	// Naturalize is cached per program.
+	nat2, err := sys.Naturalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat2 != nat {
+		t.Error("Naturalize should cache per program")
+	}
+	taskA, err := sys.Deploy(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskB, err := sys.Deploy(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []*Task{taskA, taskB} {
+		v, err := sys.TaskHeapWord(task, "value")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 42 {
+			t.Errorf("%s value = %d, want 42", task.Name, v)
+		}
+	}
+	// Unknown symbols are reported as such.
+	if _, err := sys.TaskHeapWord(taskA, "nope"); !errors.Is(err, core.ErrNoSymbol) {
+		t.Errorf("err = %v, want ErrNoSymbol", err)
+	}
+	// The two tasks must own disjoint regions.
+	aLo, _, aHi := taskA.Region()
+	bLo, _, bHi := taskB.Region()
+	if aHi > bLo && bHi > aLo {
+		t.Errorf("regions overlap: [%#x,%#x) vs [%#x,%#x)", aLo, aHi, bLo, bHi)
+	}
+}
+
+func TestFacadeOptionsPropagate(t *testing.T) {
+	sys := NewSystem(
+		WithKernelConfig(KernelConfig{InitialStack: 200}),
+		WithRewriterConfig(RewriterConfig{NoGrouping: true}),
+	)
+	prog, err := sys.CompileString("opt", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := sys.Deploy(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := task.StackAlloc(); got != 200 {
+		t.Errorf("initial stack = %d, want 200 (kernel config lost)", got)
+	}
+	nat, _ := sys.Naturalize(prog)
+	for _, p := range nat.Patches {
+		if len(p.Group) > 1 {
+			t.Error("grouping should be disabled (rewriter config lost)")
+		}
+	}
+}
+
+func TestWorkloadReexports(t *testing.T) {
+	if got := len(KernelBenchmarks()); got != 7 {
+		t.Fatalf("kernel benchmarks = %d, want 7", got)
+	}
+	if p := PeriodicTask(PeriodicParams{Instructions: 1000, Activations: 1}); p.SizeBytes() == 0 {
+		t.Error("empty periodic program")
+	}
+	if _, err := TreeSearch(TreeSearchParams{Trees: 2, NodesPerTree: 10}); err != nil {
+		t.Error(err)
+	}
+	for _, build := range []func(int) *Program{LFSR, CRC, Amplitude, ReadADC, AM, EventChain, Timer} {
+		if p := build(1); len(p.Words) == 0 {
+			t.Error("empty workload program")
+		}
+	}
+}
+
+func TestAssembleRewriteFacade(t *testing.T) {
+	prog, err := Assemble("roundtrip", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := Rewrite(prog, RewriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Program.SizeBytes() <= prog.SizeBytes() {
+		t.Error("naturalized program should be larger")
+	}
+	m := NewMachine()
+	if m == nil || m.Cycles() != 0 {
+		t.Error("NewMachine broken")
+	}
+}
+
+func TestProgramJSONRoundTrip(t *testing.T) {
+	prog, err := Assemble("json", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := prog.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back image.Program
+	if err := back.DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != prog.Name || back.Entry != prog.Entry ||
+		back.HeapSize != prog.HeapSize || len(back.Words) != len(prog.Words) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, *prog)
+	}
+	for i := range prog.Words {
+		if back.Words[i] != prog.Words[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+	if len(back.Symbols) != len(prog.Symbols) {
+		t.Fatalf("symbols lost: %d vs %d", len(back.Symbols), len(prog.Symbols))
+	}
+	// A decoded program must still rewrite and run.
+	if _, err := Rewrite(&back, RewriterConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramJSONRejectsCorrupt(t *testing.T) {
+	var p image.Program
+	if err := p.DecodeJSON([]byte(`{"name":""}`)); err == nil {
+		t.Error("empty program should fail validation")
+	}
+	if err := p.DecodeJSON([]byte(`{broken`)); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestFacadeRuntimeDeploy(t *testing.T) {
+	sys := NewSystem()
+	first, err := sys.CompileString("first", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Deploy(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(sys.Machine().Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	// Deploy after Boot spawns at runtime.
+	second, err := sys.CompileString("second", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := sys.Deploy(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(sys.Machine().Cycles() + 200_000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.TaskHeapWord(task, "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("runtime-deployed task value = %d, want 42", v)
+	}
+}

@@ -1,0 +1,48 @@
+package sensmart
+
+import (
+	"repro/internal/progs"
+)
+
+// Workload re-exports: the paper's benchmark applications, usable as
+// ready-made programs for Deploy or for native runs.
+
+// PeriodicParams configures the PeriodicTask workload (Section V-C).
+type PeriodicParams = progs.PeriodicParams
+
+// TreeSearchParams configures the sense-and-send binary-tree workload
+// (Section V-D).
+type TreeSearchParams = progs.TreeSearchParams
+
+// KernelBenchmark names one of the seven kernel benchmark programs.
+type KernelBenchmark = progs.KernelBenchmark
+
+// KernelBenchmarks returns the seven kernel benchmarks of Figures 4 and 5
+// (am, amplitude, crc, eventchain, lfsr, readadc, timer).
+func KernelBenchmarks() []KernelBenchmark { return progs.KernelBenchmarks() }
+
+// PeriodicTask builds the kernel-paced PeriodicTask program.
+func PeriodicTask(p PeriodicParams) *Program { return progs.PeriodicTask(p) }
+
+// PeriodicTaskNative builds the bare-metal PeriodicTask variant (Timer0
+// interrupt wake-ups instead of kernel sleep quanta).
+func PeriodicTaskNative(p PeriodicParams) *Program { return progs.PeriodicTaskNative(p) }
+
+// TreeSearch builds one sense-and-send binary-tree search task.
+func TreeSearch(p TreeSearchParams) (*Program, error) { return progs.TreeSearch(p) }
+
+// LFSR, CRC, Amplitude, ReadADC, AM, EventChain and Timer build individual
+// kernel benchmarks with custom workload sizes.
+var (
+	LFSR       = progs.LFSR
+	CRC        = progs.CRC
+	Amplitude  = progs.Amplitude
+	ReadADC    = progs.ReadADC
+	AM         = progs.AM
+	EventChain = progs.EventChain
+	Timer      = progs.Timer
+)
+
+// AllocDemo builds a program exercising the dynamic-memory allocation
+// module of Section III-A (a bump allocator with pool reset).
+func AllocDemo(nodes int) (*Program, error) { return progs.AllocDemo(nodes) }
