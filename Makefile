@@ -1,0 +1,34 @@
+# CI entry points for the SenSmart reproduction.
+#
+#   make ci             everything CI runs: format check, vet, build,
+#                       race-enabled tests, and a short differential fuzz
+#   make test           race-enabled test suite only
+#   make fuzz           10s differential fuzz campaign
+#   make bench-parallel regenerate BENCH_parallel.json
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: ci build vet test fmt-check fuzz bench-parallel
+
+ci: fmt-check vet build test fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fuzz:
+	$(GO) test ./internal/experiment -run '^FuzzDifferential$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+
+bench-parallel:
+	$(GO) run ./cmd/sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json

@@ -7,12 +7,21 @@
 //	sensmart-bench -exp all
 //	sensmart-bench -exp fig6 -activations 300
 //	sensmart-bench -exp fig7 -budget 80000000
+//	sensmart-bench -exp fig5 -parallel 4
+//	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
+//
+// Sweeps fan out to -parallel workers (default GOMAXPROCS); each sweep
+// point runs on a machine of its own and results merge in sweep order, so
+// the output is byte-identical for every worker count. -parallel 1 keeps
+// everything on one goroutine for debugging.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiment"
 )
@@ -26,12 +35,15 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|benchparallel|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
+	out := fs.String("out", "BENCH_parallel.json", "output path for -exp benchparallel")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	r := experiment.Runner{Concurrency: *parallel}
 
 	runners := map[string]func() error{
 		"table1": func() error {
@@ -47,7 +59,7 @@ func run(args []string) error {
 			return nil
 		},
 		"fig4": func() error {
-			t, err := experiment.Figure4()
+			t, err := r.Figure4()
 			if err != nil {
 				return err
 			}
@@ -55,7 +67,7 @@ func run(args []string) error {
 			return nil
 		},
 		"fig5": func() error {
-			t, err := experiment.Figure5()
+			t, err := r.Figure5()
 			if err != nil {
 				return err
 			}
@@ -63,7 +75,7 @@ func run(args []string) error {
 			return nil
 		},
 		"fig6": func() error {
-			points, err := experiment.Figure6(nil, *activations)
+			points, err := r.Figure6(nil, *activations)
 			if err != nil {
 				return err
 			}
@@ -71,7 +83,7 @@ func run(args []string) error {
 			return nil
 		},
 		"fig7": func() error {
-			points, err := experiment.Figure7(nil, *budget)
+			points, err := r.Figure7(nil, *budget)
 			if err != nil {
 				return err
 			}
@@ -79,11 +91,27 @@ func run(args []string) error {
 			return nil
 		},
 		"fig8": func() error {
-			points, err := experiment.Figure8(nil, *budget)
+			points, err := r.Figure8(nil, *budget)
 			if err != nil {
 				return err
 			}
 			fmt.Print(experiment.Figure8Table(points).Render())
+			return nil
+		},
+		"benchparallel": func() error {
+			b, err := experiment.BenchParallel(*parallel, *activations)
+			if err != nil {
+				return err
+			}
+			data, err := json.MarshalIndent(b, "", "  ")
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n%s", *out, data)
 			return nil
 		},
 	}

@@ -1,0 +1,112 @@
+package avr_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+	"repro/internal/progs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden disassembly listings")
+
+// roundTripPrograms is the corpus: the seven kernel benchmarks plus one
+// fixed instance of each generated workload, so every encoder path the repo
+// exercises appears in a checked-in listing.
+func roundTripPrograms(t *testing.T) []*image.Program {
+	t.Helper()
+	var out []*image.Program
+	for _, kb := range progs.KernelBenchmarks() {
+		out = append(out, kb.Program)
+	}
+	out = append(out,
+		progs.PeriodicTask(progs.PeriodicParams{Instructions: 10_000, Activations: 10}),
+		progs.PeriodicTaskNative(progs.PeriodicParams{Instructions: 10_000, Activations: 10}),
+		progs.MustTreeSearch(progs.TreeSearchParams{Trees: 2, NodesPerTree: 8}),
+	)
+	alloc, err := progs.AllocDemo(8)
+	if err != nil {
+		t.Fatalf("alloc demo: %v", err)
+	}
+	return append(out, alloc)
+}
+
+// reassemble turns a DisasmWords listing back into assembler input by
+// stripping the address prefixes; everything after them — including ".dw"
+// data fallback lines — is already assembler syntax.
+func reassemble(t *testing.T, name, listing string) *image.Program {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(".text\n")
+	for _, line := range strings.Split(strings.TrimRight(listing, "\n"), "\n") {
+		_, inst, ok := strings.Cut(line, ": ")
+		if !ok {
+			t.Fatalf("%s: malformed listing line %q", name, line)
+		}
+		b.WriteString(inst)
+		b.WriteByte('\n')
+	}
+	prog, err := asm.Assemble(name+"-rt", b.String())
+	if err != nil {
+		t.Fatalf("%s: reassemble: %v\nsource:\n%s", name, err, b.String())
+	}
+	return prog
+}
+
+// TestAssembleDisassembleRoundTrip asserts, for every program in
+// internal/progs, that the disassembly matches its checked-in golden
+// listing (regenerate with -update) and that reassembling that listing
+// reproduces the image byte for byte. Data words that happen to decode as
+// instructions survive because encoding is the exact inverse of decoding;
+// words no instruction claims come back via the ".dw" fallback.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	for _, prog := range roundTripPrograms(t) {
+		t.Run(prog.Name, func(t *testing.T) {
+			listing := avr.DisasmWords(prog.Words)
+			golden := filepath.Join("testdata", "roundtrip", prog.Name+".dis")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(listing), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden listing (run with -update): %v", err)
+			}
+			if listing != string(want) {
+				t.Fatalf("disassembly drifted from %s:\n%s", golden, diffFirstLine(string(want), listing))
+			}
+
+			back := reassemble(t, prog.Name, listing)
+			if len(back.Words) != len(prog.Words) {
+				t.Fatalf("reassembled %d words, want %d", len(back.Words), len(prog.Words))
+			}
+			for i := range prog.Words {
+				if back.Words[i] != prog.Words[i] {
+					t.Fatalf("word %#x: reassembled %#04x, want %#04x (%s)",
+						i, back.Words[i], prog.Words[i], avr.DisasmWords(prog.Words[i:i+1]))
+				}
+			}
+		})
+	}
+}
+
+// diffFirstLine points a human at the first differing listing line.
+func diffFirstLine(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("listings differ in length: golden %d lines, got %d", len(w), len(g))
+}

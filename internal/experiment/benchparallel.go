@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ParallelBenchSweep records one sweep timed serially and with the worker
+// pool. Identical reports whether the two runs rendered byte-identical
+// tables — the engine's determinism guarantee, checked on every benchmark.
+type ParallelBenchSweep struct {
+	Sweep      string  `json:"sweep"`
+	Points     int     `json:"points"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical_output"`
+}
+
+// ParallelBench is the BENCH_parallel.json payload: serial vs parallel
+// wall-clock for the fig5 and fig6a sweeps, with enough host context
+// (GOMAXPROCS, CPU count) to interpret the speedup.
+type ParallelBench struct {
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	NumCPU      int                  `json:"numcpu"`
+	Workers     int                  `json:"workers"`
+	Activations int                  `json:"fig6_activations"`
+	Note        string               `json:"note,omitempty"`
+	Sweeps      []ParallelBenchSweep `json:"sweeps"`
+}
+
+// BenchParallel times the fig5 and fig6a sweeps once with Concurrency 1 and
+// once with the given worker count, and verifies the outputs match byte for
+// byte. activations scales the fig6 runs (0 means the paper's 300).
+func BenchParallel(workers, activations int) (*ParallelBench, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &ParallelBench{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		Activations: activations,
+	}
+	if b.NumCPU < workers {
+		b.Note = fmt.Sprintf("host exposes only %d CPU(s); wall-clock speedup is bounded by the hardware, not the engine", b.NumCPU)
+	}
+
+	fig5 := func(r Runner) (string, int, error) {
+		t, err := r.Figure5()
+		if err != nil {
+			return "", 0, err
+		}
+		return t.Render(), len(t.Rows), nil
+	}
+	fig6 := func(r Runner) (string, int, error) {
+		points, err := r.Figure6(nil, activations)
+		if err != nil {
+			return "", 0, err
+		}
+		return Figure6Table(points).Render(), len(points), nil
+	}
+	for _, sweep := range []struct {
+		name string
+		run  func(Runner) (string, int, error)
+	}{
+		{"fig5", fig5},
+		{"fig6a", fig6},
+	} {
+		s := ParallelBenchSweep{Sweep: sweep.name}
+		start := time.Now()
+		serialOut, n, err := sweep.run(Runner{Concurrency: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", sweep.name, err)
+		}
+		s.SerialMs = float64(time.Since(start)) / float64(time.Millisecond)
+		s.Points = n
+		start = time.Now()
+		parallelOut, _, err := sweep.run(Runner{Concurrency: workers})
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", sweep.name, err)
+		}
+		s.ParallelMs = float64(time.Since(start)) / float64(time.Millisecond)
+		if s.ParallelMs > 0 {
+			s.Speedup = s.SerialMs / s.ParallelMs
+		}
+		s.Identical = serialOut == parallelOut
+		if !s.Identical {
+			return nil, fmt.Errorf("%s: parallel output diverged from serial", sweep.name)
+		}
+		b.Sweeps = append(b.Sweeps, s)
+	}
+	return b, nil
+}

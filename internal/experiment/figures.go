@@ -12,112 +12,141 @@ import (
 	"repro/internal/rewriter"
 )
 
+// Figure4 reproduces the code-inflation comparison with the default worker
+// pool. See Runner.Figure4.
+func Figure4() (*Table, error) { return Runner{}.Figure4() }
+
 // Figure4 reproduces the code-inflation comparison: for each of the seven
 // kernel benchmarks, the native size and the naturalized sizes under
 // SenSmart (rewritten code / shift table / trampolines) and the t-kernel.
-func Figure4() (*Table, error) {
+func (r Runner) Figure4() (*Table, error) {
 	t := &Table{
 		ID:    "fig4",
 		Title: "Code inflation of kernel benchmark programs (Figure 4)",
 		Header: []string{"Program", "Native(B)", "SenSmart rewritten", "SenSmart shift",
 			"SenSmart tramp", "SenSmart total", "Inflation", "t-kernel", "t-k inflation"},
 	}
-	for _, kb := range progs.KernelBenchmarks() {
-		nat, err := rewriter.Rewrite(kb.Program, rewriter.Config{})
-		if err != nil {
-			return nil, err
-		}
-		tk, err := tkernel.Naturalize(kb.Program)
-		if err != nil {
-			return nil, err
-		}
-		native := kb.Program.SizeBytes()
-		total := nat.Program.SizeBytes()
-		t.Rows = append(t.Rows, []string{
-			kb.Name,
-			itoa(native),
-			itoa(2 * nat.CodeWords),
-			itoa(2 * nat.ShiftWords),
-			itoa(2 * nat.TrampolineWords),
-			itoa(total),
-			pct(uint64(total-native), uint64(native)),
-			itoa(tk.CodeBytes()),
-			pct(uint64(tk.CodeBytes()-native), uint64(native)),
-		})
+	kbs := progs.KernelBenchmarks()
+	rows, err := runPoints(r.workers(), len(kbs), func(i int) ([]string, error) {
+		return figure4Row(kbs[i])
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper: SenSmart inflation stays within 200%; t-kernel considerably larger")
 	return t, nil
 }
 
+// figure4Row measures one benchmark's code inflation.
+func figure4Row(kb progs.KernelBenchmark) ([]string, error) {
+	nat, err := rewriter.Rewrite(kb.Program, rewriter.Config{})
+	if err != nil {
+		return nil, err
+	}
+	tk, err := tkernel.Naturalize(kb.Program)
+	if err != nil {
+		return nil, err
+	}
+	native := kb.Program.SizeBytes()
+	total := nat.Program.SizeBytes()
+	return []string{
+		kb.Name,
+		itoa(native),
+		itoa(2 * nat.CodeWords),
+		itoa(2 * nat.ShiftWords),
+		itoa(2 * nat.TrampolineWords),
+		itoa(total),
+		pct(uint64(total-native), uint64(native)),
+		itoa(tk.CodeBytes()),
+		pct(uint64(tk.CodeBytes()-native), uint64(native)),
+	}, nil
+}
+
+// Figure5 reproduces the execution-time comparison with the default worker
+// pool. See Runner.Figure5.
+func Figure5() (*Table, error) { return Runner{}.Figure5() }
+
 // Figure5 reproduces the execution-time comparison of the seven kernel
 // benchmarks: native, SenSmart (with the memory-protection share of its
 // overhead broken out), and the t-kernel (steady state, warm-up excluded as
 // in the paper's Figure 5).
-func Figure5() (*Table, error) {
+func (r Runner) Figure5() (*Table, error) {
 	t := &Table{
 		ID:    "fig5",
 		Title: "Execution time of kernel benchmark programs, seconds (Figure 5)",
 		Header: []string{"Program", "Native", "SenSmart mem-prot", "SenSmart total",
 			"t-kernel", "SenSmart/native", "t-kernel/native"},
 	}
-	for _, kb := range progs.KernelBenchmarks() {
-		nativeCycles, _, err := runNativeCycles(kb.Program.Clone(), 2_000_000_000)
-		if err != nil {
-			return nil, err
-		}
-		run, err := runSenSmart(kernel.Config{}, 4_000_000_000, kb.Program.Clone())
-		if err != nil {
-			return nil, err
-		}
-		// Split the SenSmart overhead: memory protection (address
-		// translation and SP services) versus everything else.
-		memProt := uint64(0)
-		for class, n := range run.K.Stats.ServiceCalls {
-			switch class {
-			case rewriter.ClassDirectIO:
-				memProt += n * kernel.CostDirectIO
-			case rewriter.ClassDirectMem:
-				memProt += n * kernel.CostDirectMem
-			case rewriter.ClassIndirectMem:
-				memProt += n * kernel.CostIndHeap // representative row
-			case rewriter.ClassSPRead:
-				memProt += n * kernel.CostGetSP
-			case rewriter.ClassSPWrite:
-				memProt += n * kernel.CostSetSP
-			case rewriter.ClassLpm:
-				memProt += n * kernel.CostProgMem
-			}
-		}
-		tkImg, err := tkernel.Naturalize(kb.Program)
-		if err != nil {
-			return nil, err
-		}
-		m := mcu.New()
-		rt, err := tkernel.NewRuntime(m, tkImg)
-		if err != nil {
-			return nil, err
-		}
-		if err := rt.Run(4_000_000_000); err != nil {
-			return nil, err
-		}
-		if !rt.Exited() {
-			return nil, fmt.Errorf("experiment: t-kernel run of %s did not finish", kb.Name)
-		}
-		t.Rows = append(t.Rows, []string{
-			kb.Name,
-			seconds(nativeCycles),
-			seconds(nativeCycles + memProt),
-			seconds(run.Cycles),
-			seconds(m.Cycles()),
-			fmt.Sprintf("%.2fx", float64(run.Cycles)/float64(nativeCycles)),
-			fmt.Sprintf("%.2fx", float64(m.Cycles())/float64(nativeCycles)),
-		})
+	kbs := progs.KernelBenchmarks()
+	rows, err := runPoints(r.workers(), len(kbs), func(i int) ([]string, error) {
+		return figure5Row(kbs[i])
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper: SenSmart shows a moderate slowdown; t-kernel is faster on most programs",
 		"t-kernel warm-up rewriting is excluded here (it appears in Figure 6a)")
 	return t, nil
+}
+
+// figure5Row runs one benchmark natively, under SenSmart, and under the
+// t-kernel, each on a machine of its own.
+func figure5Row(kb progs.KernelBenchmark) ([]string, error) {
+	nativeCycles, _, err := runNativeCycles(kb.Program.Clone(), 2_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	run, err := runSenSmart(kernel.Config{}, 4_000_000_000, kb.Program.Clone())
+	if err != nil {
+		return nil, err
+	}
+	// Split the SenSmart overhead: memory protection (address
+	// translation and SP services) versus everything else.
+	memProt := uint64(0)
+	for class, n := range run.K.Stats.ServiceCalls {
+		switch class {
+		case rewriter.ClassDirectIO:
+			memProt += n * kernel.CostDirectIO
+		case rewriter.ClassDirectMem:
+			memProt += n * kernel.CostDirectMem
+		case rewriter.ClassIndirectMem:
+			memProt += n * kernel.CostIndHeap // representative row
+		case rewriter.ClassSPRead:
+			memProt += n * kernel.CostGetSP
+		case rewriter.ClassSPWrite:
+			memProt += n * kernel.CostSetSP
+		case rewriter.ClassLpm:
+			memProt += n * kernel.CostProgMem
+		}
+	}
+	tkImg, err := tkernel.Naturalize(kb.Program)
+	if err != nil {
+		return nil, err
+	}
+	m := mcu.New()
+	rt, err := tkernel.NewRuntime(m, tkImg)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Run(4_000_000_000); err != nil {
+		return nil, err
+	}
+	if !rt.Exited() {
+		return nil, fmt.Errorf("experiment: t-kernel run of %s did not finish", kb.Name)
+	}
+	return []string{
+		kb.Name,
+		seconds(nativeCycles),
+		seconds(nativeCycles + memProt),
+		seconds(run.Cycles),
+		seconds(m.Cycles()),
+		fmt.Sprintf("%.2fx", float64(run.Cycles)/float64(nativeCycles)),
+		fmt.Sprintf("%.2fx", float64(m.Cycles())/float64(nativeCycles)),
+	}, nil
 }
 
 // Figure6Point is one x-axis point of the PeriodicTask experiment.
@@ -132,70 +161,78 @@ type Figure6Point struct {
 	MateCycles     uint64
 }
 
+// Figure6 sweeps the PeriodicTask computation size with the default worker
+// pool. See Runner.Figure6.
+func Figure6(sizes []int, activations int) ([]Figure6Point, error) {
+	return Runner{}.Figure6(sizes, activations)
+}
+
 // Figure6 sweeps the PeriodicTask computation size and measures execution
 // time and CPU utilization under native execution, SenSmart, the t-kernel
 // (warm-up included, as in Figure 6a) and the Maté-style VM (Figure 6c).
 // activations scales the experiment length (the paper uses 300).
-func Figure6(sizes []int, activations int) ([]Figure6Point, error) {
+func (r Runner) Figure6(sizes []int, activations int) ([]Figure6Point, error) {
 	if len(sizes) == 0 {
 		sizes = []int{10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000, 90_000, 100_000}
 	}
 	if activations == 0 {
 		activations = 300
 	}
-	var out []Figure6Point
-	for _, size := range sizes {
-		pt := Figure6Point{Instructions: size}
-		params := progs.PeriodicParams{Instructions: size, Activations: activations}
+	return runPoints(r.workers(), len(sizes), func(i int) (Figure6Point, error) {
+		return figure6Point(sizes[i], activations)
+	})
+}
 
-		nativeProg := progs.PeriodicTaskNative(params)
-		cycles, idle, err := runNativeCycles(nativeProg, 30_000_000_000)
-		if err != nil {
-			return nil, err
-		}
-		pt.NativeCycles = cycles
-		pt.NativeUtil = 1 - float64(idle)/float64(cycles)
+// figure6Point measures one computation size under all four systems.
+func figure6Point(size, activations int) (Figure6Point, error) {
+	pt := Figure6Point{Instructions: size}
+	params := progs.PeriodicParams{Instructions: size, Activations: activations}
 
-		smartProg := progs.PeriodicTask(params)
-		run, err := runSenSmart(kernel.Config{}, 30_000_000_000, smartProg)
-		if err != nil {
-			return nil, err
-		}
-		pt.SenSmartCycles = run.Cycles
-		pt.SenSmartUtil = 1 - float64(run.Idle)/float64(run.Cycles)
-
-		tkImg, err := tkernel.Naturalize(nativeProg)
-		if err != nil {
-			return nil, err
-		}
-		m := mcu.New()
-		rt, err := tkernel.NewRuntime(m, tkImg)
-		if err != nil {
-			return nil, err
-		}
-		rt.Boot() // Figure 6a includes the ~1 s warm-up
-		if err := rt.Run(30_000_000_000); err != nil {
-			return nil, err
-		}
-		if !rt.Exited() {
-			return nil, fmt.Errorf("experiment: t-kernel periodic run (%d) did not finish", size)
-		}
-		pt.TKernelCycles = m.Cycles()
-		pt.TKernelUtil = 1 - float64(m.IdleCycles())/float64(m.Cycles())
-
-		code, err := mate.PeriodicProgram(size, activations, params.PeriodTicks)
-		if err != nil {
-			return nil, err
-		}
-		vm := mate.New(code)
-		if err := vm.Run(0); err != nil {
-			return nil, err
-		}
-		pt.MateCycles = vm.Cycles
-
-		out = append(out, pt)
+	nativeProg := progs.PeriodicTaskNative(params)
+	cycles, idle, err := runNativeCycles(nativeProg, 30_000_000_000)
+	if err != nil {
+		return pt, err
 	}
-	return out, nil
+	pt.NativeCycles = cycles
+	pt.NativeUtil = 1 - float64(idle)/float64(cycles)
+
+	smartProg := progs.PeriodicTask(params)
+	run, err := runSenSmart(kernel.Config{}, 30_000_000_000, smartProg)
+	if err != nil {
+		return pt, err
+	}
+	pt.SenSmartCycles = run.Cycles
+	pt.SenSmartUtil = 1 - float64(run.Idle)/float64(run.Cycles)
+
+	tkImg, err := tkernel.Naturalize(nativeProg)
+	if err != nil {
+		return pt, err
+	}
+	m := mcu.New()
+	rt, err := tkernel.NewRuntime(m, tkImg)
+	if err != nil {
+		return pt, err
+	}
+	rt.Boot() // Figure 6a includes the ~1 s warm-up
+	if err := rt.Run(30_000_000_000); err != nil {
+		return pt, err
+	}
+	if !rt.Exited() {
+		return pt, fmt.Errorf("experiment: t-kernel periodic run (%d) did not finish", size)
+	}
+	pt.TKernelCycles = m.Cycles()
+	pt.TKernelUtil = 1 - float64(m.IdleCycles())/float64(m.Cycles())
+
+	code, err := mate.PeriodicProgram(size, activations, params.PeriodTicks)
+	if err != nil {
+		return pt, err
+	}
+	vm := mate.New(code)
+	if err := vm.Run(0); err != nil {
+		return pt, err
+	}
+	pt.MateCycles = vm.Cycles
+	return pt, nil
 }
 
 // Figure6Table renders the sweep in the layout of Figures 6(a)-(c).
@@ -235,66 +272,74 @@ type Figure7Point struct {
 	Terminations   int
 }
 
+// Figure7 runs the stack-versatility workload with the default worker pool.
+// See Runner.Figure7.
+func Figure7(nodesPerTree []int, budgetCycles uint64) ([]Figure7Point, error) {
+	return Runner{}.Figure7(nodesPerTree, budgetCycles)
+}
+
 // Figure7 runs the sense-and-send binary-tree workload: as many search
 // tasks as admission allows, measured after a fixed simulated duration.
-func Figure7(nodesPerTree []int, budgetCycles uint64) ([]Figure7Point, error) {
+func (r Runner) Figure7(nodesPerTree []int, budgetCycles uint64) ([]Figure7Point, error) {
 	if len(nodesPerTree) == 0 {
 		nodesPerTree = []int{8, 16, 24, 32, 40}
 	}
 	if budgetCycles == 0 {
 		budgetCycles = 40_000_000
 	}
-	var out []Figure7Point
-	for _, n := range nodesPerTree {
-		pt := Figure7Point{NodesPerTree: n}
-		m := mcu.New()
-		k := kernel.New(m, kernel.Config{InitialStack: 64})
-		for i := 0; ; i++ {
-			prog, err := progs.TreeSearch(progs.TreeSearchParams{
-				Trees:        6,
-				NodesPerTree: n,
-				Seed:         uint16(0xACE1 + 73*i),
-			})
-			if err != nil {
-				return nil, err
-			}
-			nat, err := rewriter.Rewrite(prog, rewriter.Config{})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := k.AddTask(fmt.Sprintf("search%d", i), nat); err != nil {
-				break
-			}
-			pt.AdmittedTasks++
+	return runPoints(r.workers(), len(nodesPerTree), func(i int) (Figure7Point, error) {
+		return figure7Point(nodesPerTree[i], budgetCycles)
+	})
+}
+
+// figure7Point fills one node with tree-search tasks and measures survival.
+func figure7Point(n int, budgetCycles uint64) (Figure7Point, error) {
+	pt := Figure7Point{NodesPerTree: n}
+	m := mcu.New()
+	k := kernel.New(m, kernel.Config{InitialStack: 64})
+	for i := 0; ; i++ {
+		prog, err := progs.TreeSearch(progs.TreeSearchParams{
+			Trees:        6,
+			NodesPerTree: n,
+			Seed:         uint16(0xACE1 + 73*i),
+		})
+		if err != nil {
+			return pt, err
 		}
-		if pt.AdmittedTasks == 0 {
-			out = append(out, pt)
-			continue
+		nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+		if err != nil {
+			return pt, err
 		}
-		if err := k.Boot(); err != nil {
-			return nil, err
+		if _, err := k.AddTask(fmt.Sprintf("search%d", i), nat); err != nil {
+			break
 		}
-		if err := k.Run(budgetCycles); err != nil {
-			return nil, err
-		}
-		var allocSum uint64
-		for _, task := range k.Tasks {
-			if task.State() != kernel.TaskTerminated {
-				pt.SurvivingTasks++
-				allocSum += uint64(task.StackAlloc())
-			}
-			if task.MaxStackUsed > pt.MaxStackUsed {
-				pt.MaxStackUsed = task.MaxStackUsed
-			}
-		}
-		if pt.SurvivingTasks > 0 {
-			pt.AvgStackAlloc = float64(allocSum) / float64(pt.SurvivingTasks)
-		}
-		pt.Relocations = k.Stats.Relocations
-		pt.Terminations = k.Stats.Terminations
-		out = append(out, pt)
+		pt.AdmittedTasks++
 	}
-	return out, nil
+	if pt.AdmittedTasks == 0 {
+		return pt, nil
+	}
+	if err := k.Boot(); err != nil {
+		return pt, err
+	}
+	if err := k.Run(budgetCycles); err != nil {
+		return pt, err
+	}
+	var allocSum uint64
+	for _, task := range k.Tasks {
+		if task.State() != kernel.TaskTerminated {
+			pt.SurvivingTasks++
+			allocSum += uint64(task.StackAlloc())
+		}
+		if task.MaxStackUsed > pt.MaxStackUsed {
+			pt.MaxStackUsed = task.MaxStackUsed
+		}
+	}
+	if pt.SurvivingTasks > 0 {
+		pt.AvgStackAlloc = float64(allocSum) / float64(pt.SurvivingTasks)
+	}
+	pt.Relocations = k.Stats.Relocations
+	pt.Terminations = k.Stats.Terminations
+	return pt, nil
 }
 
 // Figure7Table renders the stack-versatility sweep.
@@ -329,73 +374,82 @@ type Figure8Point struct {
 	FixedTasks    int
 }
 
+// Figure8 runs the fixed-stack comparison with the default worker pool. See
+// Runner.Figure8.
+func Figure8(nodesPerTree []int, budgetCycles uint64) ([]Figure8Point, error) {
+	return Runner{}.Figure8(nodesPerTree, budgetCycles)
+}
+
 // Figure8 grants SenSmart the same application memory the LiteOS-like
 // baseline has (which loses 2 KB to kernel static data) and compares how
 // many two-tree search tasks each can schedule.
-func Figure8(nodesPerTree []int, budgetCycles uint64) ([]Figure8Point, error) {
+func (r Runner) Figure8(nodesPerTree []int, budgetCycles uint64) ([]Figure8Point, error) {
 	if len(nodesPerTree) == 0 {
 		nodesPerTree = []int{10, 20, 30, 40, 50, 60}
 	}
 	if budgetCycles == 0 {
 		budgetCycles = 40_000_000
 	}
+	return runPoints(r.workers(), len(nodesPerTree), func(i int) (Figure8Point, error) {
+		return figure8Point(nodesPerTree[i], budgetCycles)
+	})
+}
+
+// figure8Point compares schedulable task counts at one tree size.
+func figure8Point(n int, budgetCycles uint64) (Figure8Point, error) {
 	// The LiteOS-style application area after its 2 KB of static data.
 	liteArea := uint16(mcu.DataSize - mcu.SRAMBase - fixedstack.KernelStaticData)
 	const worstStack = 224 // programmer-declared worst case (~15 B x 15 levels)
 
-	var out []Figure8Point
-	for _, n := range nodesPerTree {
-		pt := Figure8Point{NodesPerTree: n}
-		prog, err := progs.TreeSearch(progs.TreeSearchParams{
-			Trees: 2, NodesPerTree: n,
+	pt := Figure8Point{NodesPerTree: n}
+	prog, err := progs.TreeSearch(progs.TreeSearchParams{
+		Trees: 2, NodesPerTree: n,
+	})
+	if err != nil {
+		return pt, err
+	}
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		return pt, err
+	}
+	pt.FixedTasks = fixedstack.MaxSchedulable(fixedstack.Config{
+		WorstCaseStack: worstStack,
+	}, nat)
+
+	// SenSmart with the same memory: admit, run, count survivors.
+	m := mcu.New()
+	k := kernel.New(m, kernel.Config{AppLimit: liteArea, InitialStack: 64})
+	admitted := 0
+	for i := 0; ; i++ {
+		p2, err := progs.TreeSearch(progs.TreeSearchParams{
+			Trees: 2, NodesPerTree: n, Seed: uint16(0xACE1 + 131*i),
 		})
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
-		nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+		nat2, err := rewriter.Rewrite(p2, rewriter.Config{})
 		if err != nil {
-			return nil, err
+			return pt, err
 		}
-		pt.FixedTasks = fixedstack.MaxSchedulable(fixedstack.Config{
-			WorstCaseStack: worstStack,
-		}, nat)
-
-		// SenSmart with the same memory: admit, run, count survivors.
-		m := mcu.New()
-		k := kernel.New(m, kernel.Config{AppLimit: liteArea, InitialStack: 64})
-		admitted := 0
-		for i := 0; ; i++ {
-			p2, err := progs.TreeSearch(progs.TreeSearchParams{
-				Trees: 2, NodesPerTree: n, Seed: uint16(0xACE1 + 131*i),
-			})
-			if err != nil {
-				return nil, err
-			}
-			nat2, err := rewriter.Rewrite(p2, rewriter.Config{})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := k.AddTask(fmt.Sprintf("s%d", i), nat2); err != nil {
-				break
-			}
-			admitted++
+		if _, err := k.AddTask(fmt.Sprintf("s%d", i), nat2); err != nil {
+			break
 		}
-		if admitted > 0 {
-			if err := k.Boot(); err != nil {
-				return nil, err
-			}
-			if err := k.Run(budgetCycles); err != nil {
-				return nil, err
-			}
-			for _, task := range k.Tasks {
-				if task.State() != kernel.TaskTerminated {
-					pt.SenSmartTasks++
-				}
-			}
-		}
-		out = append(out, pt)
+		admitted++
 	}
-	return out, nil
+	if admitted > 0 {
+		if err := k.Boot(); err != nil {
+			return pt, err
+		}
+		if err := k.Run(budgetCycles); err != nil {
+			return pt, err
+		}
+		for _, task := range k.Tasks {
+			if task.State() != kernel.TaskTerminated {
+				pt.SenSmartTasks++
+			}
+		}
+	}
+	return pt, nil
 }
 
 // Figure8Table renders the SenSmart-vs-LiteOS comparison.

@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/avr/asm"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+)
+
+// dna turns a fuzzer-controlled byte string into an unbounded stream of
+// small decisions, so that every input — including mutated garbage — maps to
+// a valid program. Bytes repeat from the start when the string runs out.
+type dna struct {
+	data []byte
+	pos  int
+}
+
+func (d *dna) next() byte {
+	if len(d.data) == 0 {
+		return 0
+	}
+	b := d.data[d.pos%len(d.data)]
+	d.pos++
+	return b
+}
+
+func (d *dna) intn(n int) int { return int(d.next()) % n }
+
+// programFromDNA emits a random-but-valid AVR program from the decision
+// stream: ALU work, direct and indirect heap accesses, displacement
+// accesses, forward branches, calls, bounded loops, program-memory reads and
+// push/pop pairs — every instruction class the rewriter patches. The mix
+// mirrors the kernel package's randomProgram generator, but driven by fuzz
+// bytes instead of a PRNG so the fuzzer can explore the space.
+func programFromDNA(d *dna) string {
+	var b strings.Builder
+	b.WriteString(".data\nbuf: .space 48\n.text\nmain:\n")
+	for i := 16; i <= 25; i++ {
+		fmt.Fprintf(&b, "    ldi r%d, %d\n", i, d.intn(256))
+	}
+	b.WriteString("    ldi r26, lo8(buf)\n    ldi r27, hi8(buf)\n")
+	b.WriteString("    ldi r28, lo8(buf+16)\n    ldi r29, hi8(buf+16)\n")
+
+	label := 0
+	n := 8 + d.intn(28)
+	for i := 0; i < n; i++ {
+		switch d.intn(12) {
+		case 0:
+			fmt.Fprintf(&b, "    add r%d, r%d\n", 16+d.intn(10), 16+d.intn(10))
+		case 1:
+			fmt.Fprintf(&b, "    eor r%d, r%d\n", 16+d.intn(10), 16+d.intn(10))
+		case 2:
+			fmt.Fprintf(&b, "    subi r%d, %d\n", 16+d.intn(10), d.intn(256))
+		case 3:
+			fmt.Fprintf(&b, "    sts buf+%d, r%d\n", d.intn(48), 16+d.intn(10))
+		case 4:
+			fmt.Fprintf(&b, "    lds r%d, buf+%d\n", 16+d.intn(10), d.intn(48))
+		case 5:
+			// Indirect store then reload through X, pointer reset first so
+			// the access stays inside buf.
+			off := d.intn(40)
+			fmt.Fprintf(&b, "    ldi r26, lo8(buf+%d)\n    ldi r27, hi8(buf+%d)\n", off, off)
+			fmt.Fprintf(&b, "    st X+, r%d\n    ld r%d, -X\n", 16+d.intn(10), 16+d.intn(10))
+		case 6:
+			// Displacement access through Y (points at buf+16).
+			fmt.Fprintf(&b, "    std Y+%d, r%d\n    ldd r%d, Y+%d\n",
+				d.intn(16), 16+d.intn(10), 16+d.intn(10), d.intn(16))
+		case 7:
+			fmt.Fprintf(&b, "    tst r%d\n    breq L%d\n    inc r%d\nL%d:\n",
+				16+d.intn(10), label, 16+d.intn(10), label)
+			label++
+		case 8:
+			fmt.Fprintf(&b, "    rcall fn%d\n", d.intn(2))
+		case 9:
+			// Bounded backward loop (3..9 iterations).
+			fmt.Fprintf(&b, "    ldi r%d, %d\nL%d:\n    dec r%d\n    brne L%d\n",
+				16+d.intn(4), 3+d.intn(7), label, 16+d.intn(4), label)
+			label++
+		case 10:
+			fmt.Fprintf(&b, "    ldi r30, lo8(pmbyte(tab))\n    ldi r31, hi8(pmbyte(tab))\n")
+			fmt.Fprintf(&b, "    lpm r%d, Z+\n    lpm r%d, Z\n", 16+d.intn(10), 16+d.intn(10))
+		case 11:
+			reg := 16 + d.intn(10)
+			fmt.Fprintf(&b, "    push r%d\n    pop r%d\n", reg, reg)
+		}
+	}
+	// Clear pointer registers so register values are timing-independent at
+	// comparison time.
+	b.WriteString("    clr r26\n    clr r27\n    clr r30\n    clr r31\n")
+	b.WriteString("    break\n")
+	b.WriteString("fn0:\n    inc r24\n    ret\nfn1:\n    lsr r25\n    ret\n")
+	fmt.Fprintf(&b, "tab:\n    .dw 0x%02x%02x, 0x%02x%02x\n",
+		d.next(), d.next(), d.next(), d.next())
+	return b.String()
+}
+
+// assertSameExecution runs prog natively and under the SenSmart
+// rewriter+kernel and fails unless the final register file, the entire heap,
+// and the UART output are identical — the semantics-preservation contract of
+// naturalization (Section IV-B).
+func assertSameExecution(t testing.TB, prog *image.Program, nativeLimit, kernelLimit uint64) {
+	t.Helper()
+	native, err := progs.RunNative(prog.Clone(), nativeLimit)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	nat, err := rewriter.Rewrite(prog.Clone(), rewriter.Config{})
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	m := mcu.New()
+	k := kernel.New(m, kernel.Config{})
+	task, err := k.AddTask(prog.Name, nat)
+	if err != nil {
+		t.Fatalf("add task: %v", err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if err := k.Run(kernelLimit); err != nil {
+		t.Fatalf("kernel run: %v", err)
+	}
+	if task.ExitReason != "exited" {
+		t.Fatalf("task did not exit cleanly: %q", task.ExitReason)
+	}
+	for i := uint8(0); i < 32; i++ {
+		if native.Machine.Reg(i) != m.Reg(i) {
+			t.Fatalf("r%d: native=%#x sensmart=%#x", i, native.Machine.Reg(i), m.Reg(i))
+		}
+	}
+	pl, _, _ := task.Region()
+	for off := uint16(0); off < prog.HeapSize; off++ {
+		nv := native.Machine.Peek(prog.HeapBase + off)
+		kv := m.Peek(pl + off)
+		if nv != kv {
+			t.Fatalf("heap+%d: native=%#x sensmart=%#x", off, nv, kv)
+		}
+	}
+	if nu, ku := native.Machine.UARTOutput(), m.UARTOutput(); !bytes.Equal(nu, ku) {
+		t.Fatalf("uart: native=%q sensmart=%q", nu, ku)
+	}
+}
+
+// dnaFromProgram derives a seed-corpus entry from a real program's code
+// image, so the fuzzer starts from the instruction-mix statistics of the
+// seven kernel benchmarks rather than from all-zero inputs.
+func dnaFromProgram(p *image.Program) []byte {
+	out := make([]byte, 0, 512)
+	for _, w := range p.Words {
+		out = append(out, byte(w), byte(w>>8))
+		if len(out) >= 512 {
+			break
+		}
+	}
+	return out
+}
+
+// FuzzDifferential is the fuzz entry point: any byte string becomes a valid
+// program via programFromDNA, which must then behave identically native and
+// naturalized. Run with:
+//
+//	go test ./internal/experiment -run Fuzz -fuzz=FuzzDifferential -fuzztime=10s
+func FuzzDifferential(f *testing.F) {
+	// Seed with the seven kernel benchmarks' code bytes plus a few
+	// hand-picked decision strings that exercise each generator arm.
+	for _, kb := range progs.KernelBenchmarks() {
+		f.Add(dnaFromProgram(kb.Program))
+	}
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 128, 64})
+	f.Add([]byte{5, 5, 5, 6, 6, 6, 3, 4, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := programFromDNA(&dna{data: data})
+		prog, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		assertSameExecution(t, prog, 10_000_000, 50_000_000)
+	})
+}
+
+// TestDifferentialKernelBenchmarks runs the seven real benchmark kernels
+// through the same native-vs-SenSmart comparison the fuzzer applies to
+// generated programs: identical registers, heap, and UART output.
+func TestDifferentialKernelBenchmarks(t *testing.T) {
+	for _, kb := range progs.KernelBenchmarks() {
+		t.Run(kb.Name, func(t *testing.T) {
+			if testing.Short() && kb.Name == "lfsr" {
+				t.Skip("long benchmark in -short mode")
+			}
+			assertSameExecution(t, kb.Program, 2_000_000_000, 4_000_000_000)
+		})
+	}
+}

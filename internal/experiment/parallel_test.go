@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+)
+
+// TestRunPointsOrdering checks the pool's core contract: results come back
+// in sweep-index order no matter how many workers compute them.
+func TestRunPointsOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := runPoints(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunPointsError checks that a failing point surfaces the error of the
+// lowest failing index — the same error a serial sweep would report — for
+// both the serial and the pooled path.
+func TestRunPointsError(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := runPoints(workers, 20, func(i int) (int, error) {
+			if i >= 7 {
+				return 0, errBoom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errBoom)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee of the engine:
+// fig5 and a small fig6 sweep must render byte-identically with one worker
+// and with many.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig5/fig6 sweeps in -short mode")
+	}
+	serial := Runner{Concurrency: 1}
+	pooled := Runner{Concurrency: 4}
+
+	st, err := serial.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := pooled.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Render() != pt.Render() {
+		t.Errorf("fig5 diverges between 1 and 4 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			st.Render(), pt.Render())
+	}
+
+	sizes := []int{20_000, 60_000}
+	sp, err := serial.Figure6(sizes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := pooled.Figure6(sizes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Figure6Table(sp).Render() != Figure6Table(pp).Render() {
+		t.Errorf("fig6 diverges between 1 and 4 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			Figure6Table(sp).Render(), Figure6Table(pp).Render())
+	}
+}
+
+// TestConcurrentRewriteSharedProgram rewrites the same source *image.Program
+// from many goroutines at once — the sharing pattern figure sweeps create
+// when several points naturalize one benchmark — and checks under -race that
+// every result is identical and the source image is untouched.
+func TestConcurrentRewriteSharedProgram(t *testing.T) {
+	prog := progs.CRC(120)
+	origWords := append([]uint16(nil), prog.Words...)
+
+	ref, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*rewriter.Naturalized, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = rewriter.Rewrite(prog, rewriter.Config{})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("rewrite %d: %v", i, errs[i])
+		}
+		if len(results[i].Program.Words) != len(ref.Program.Words) {
+			t.Fatalf("rewrite %d: %d words, want %d",
+				i, len(results[i].Program.Words), len(ref.Program.Words))
+		}
+		for w := range ref.Program.Words {
+			if results[i].Program.Words[w] != ref.Program.Words[w] {
+				t.Fatalf("rewrite %d: word %#x = %#04x, want %#04x",
+					i, w, results[i].Program.Words[w], ref.Program.Words[w])
+			}
+		}
+	}
+	for i, w := range prog.Words {
+		if w != origWords[i] {
+			t.Fatalf("source image mutated at word %#x", i)
+		}
+	}
+}

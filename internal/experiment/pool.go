@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes the evaluation harnesses with a configurable worker pool.
+// Every sweep point (benchmark kernel, computation size, tree size) builds
+// its own mcu.Machine and kernel.Kernel, so points are independent and can
+// run on any worker; results are merged in sweep order, which makes the
+// output byte-identical to a serial run regardless of worker count.
+type Runner struct {
+	// Concurrency is the number of workers a sweep fans out to.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces the serial path.
+	Concurrency int
+}
+
+// workers resolves the effective worker count.
+func (r Runner) workers() int {
+	if r.Concurrency > 0 {
+		return r.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints computes fn(0..n-1) on up to `workers` goroutines and returns
+// the results ordered by index — never by completion order. With workers
+// <= 1 it runs everything inline on the caller's goroutine (the `-parallel
+// 1` debugging mode: no goroutines, deterministic stepping under a
+// debugger). On error the sweep stops handing out new indices, in-flight
+// points finish, and the error of the lowest failing index is returned —
+// the same error a serial run would surface.
+func runPoints[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -117,6 +117,7 @@ func (p *Program) Clone() *Program {
 	q.Words = append([]uint16(nil), p.Words...)
 	q.Symbols = append([]Symbol(nil), p.Symbols...)
 	q.DataInit = append([]byte(nil), p.DataInit...)
+	q.TextData = append([]Range(nil), p.TextData...)
 	return &q
 }
 

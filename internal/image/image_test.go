@@ -54,8 +54,12 @@ func TestCloneIsDeep(t *testing.T) {
 	q.Words[0] = 0x9508
 	q.Symbols[0].Name = "changed"
 	q.DataInit[0] = 9
+	q.TextData[0].Start = 99
 	if p.Words[0] != 0x0000 || p.Symbols[0].Name != "main" || p.DataInit[0] != 1 {
 		t.Error("Clone aliases the original")
+	}
+	if p.TextData[0].Start != 1 {
+		t.Error("Clone aliases the original's TextData ranges")
 	}
 }
 

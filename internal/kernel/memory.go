@@ -24,9 +24,16 @@ func (t *Task) translate(logical uint16) (phys uint16, kind accessKind) {
 	if logical >= 0x100 && logical < 0x100+heapSize {
 		return logical - 0x100 + t.pl, accessHeap
 	}
+	// The logical stack grows down from M = logicalSPBase; the topmost
+	// stack byte lives at M-1. Addresses at or above M would land past
+	// p_u — another task's region — so they fault like any other
+	// out-of-region access.
+	if logical >= logicalSPBase {
+		return 0, accessInvalid
+	}
 	stackSize := t.pu - t.ph
-	if logical >= logicalSPBase-uint16(stackSize) {
-		return uint16(int(logical) - logicalSPBase + int(t.pu)), accessStack
+	if logical >= logicalSPBase-stackSize {
+		return logical - (logicalSPBase - stackSize) + t.ph, accessStack
 	}
 	return 0, accessInvalid
 }

@@ -78,11 +78,16 @@ func defaultADCSource() func(uint8) uint16 {
 // completed conversion with the selected channel.
 func (m *Machine) SetADCSource(f func(channel uint8) uint16) { m.dev.adcSource = f }
 
-// UARTOutput returns all bytes transmitted on UART0 so far.
-func (m *Machine) UARTOutput() []byte { return m.dev.uartOut }
+// UARTOutput returns a copy of all bytes transmitted on UART0 so far. A
+// copy, not the live buffer: the machine keeps appending to its own slice,
+// and handing out the backing array would let a later transmission overwrite
+// a snapshot the caller already holds (or race with a reader when machines
+// run on different goroutines).
+func (m *Machine) UARTOutput() []byte { return append([]byte(nil), m.dev.uartOut...) }
 
-// RadioOutput returns all bytes transmitted on the radio so far.
-func (m *Machine) RadioOutput() []RadioFrame { return m.dev.radioOut }
+// RadioOutput returns a copy of all bytes transmitted on the radio so far
+// (see UARTOutput for why a copy).
+func (m *Machine) RadioOutput() []RadioFrame { return append([]RadioFrame(nil), m.dev.radioOut...) }
 
 // InjectRadio queues bytes for the application to read from RDR.
 func (m *Machine) InjectRadio(b []byte) {

@@ -1,0 +1,130 @@
+package mcu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const uartEmitSrc = `
+main:
+    ldi r24, 'a'
+    rcall putc
+    ldi r24, 'b'
+    rcall putc
+    break
+putc:
+    in r17, UCSR0A
+    sbrs r17, 5       ; UDRE
+    rjmp putc
+    out UDR0, r24
+    ret
+`
+
+// TestUARTOutputSnapshotStable pins the regression where UARTOutput handed
+// out the machine's live transmit buffer: a snapshot taken mid-run must not
+// change when the machine keeps transmitting into the same backing array.
+func TestUARTOutputSnapshotStable(t *testing.T) {
+	m := load(t, uartEmitSrc)
+	m.SetSP(0x10FF)
+	runUntilBreak(t, m, 100_000)
+	m.fault = nil
+	m.AddCycles(UARTByteCycles)
+	m.FlushDevices()
+
+	snap := m.UARTOutput()
+	want := append([]byte(nil), snap...)
+	// Keep transmitting on the same machine; the snapshot must not move.
+	m.dev.uartOut = append(m.dev.uartOut, 'X', 'Y', 'Z')
+	if !bytes.Equal(snap, want) {
+		t.Fatalf("snapshot mutated by later traffic: %q, want %q", snap, want)
+	}
+	// And writes through the snapshot must not corrupt the machine.
+	if len(snap) > 0 {
+		snap[0] = '?'
+	}
+	if m.dev.uartOut[0] == '?' {
+		t.Fatal("snapshot aliases the machine's internal buffer")
+	}
+}
+
+// TestRadioOutputSnapshotStable is the radio-side twin of the UART test.
+func TestRadioOutputSnapshotStable(t *testing.T) {
+	m := load(t, `
+main:
+    ldi r24, 0x55
+    rcall txb
+    break
+txb:
+    in r17, RSR
+    sbrs r17, 0
+    rjmp txb
+    out RDR, r24
+    ret
+`)
+	m.SetSP(0x10FF)
+	runUntilBreak(t, m, 100_000)
+	m.fault = nil
+	m.AddCycles(RadioByteCycles)
+	m.FlushDevices()
+
+	snap := m.RadioOutput()
+	if len(snap) != 1 || snap[0].Byte != 0x55 {
+		t.Fatalf("radio frames = %+v", snap)
+	}
+	m.dev.radioOut = append(m.dev.radioOut, RadioFrame{Byte: 0xAA})
+	snap[0].Byte = 0
+	if m.dev.radioOut[0].Byte != 0x55 {
+		t.Fatal("snapshot aliases the machine's internal radio buffer")
+	}
+}
+
+// TestConcurrentMachinesIndependent runs several machines on separate
+// goroutines (the parallel experiment engine's usage pattern) and checks,
+// under -race, that instances share no mutable state: every machine must
+// produce the same UART output it produces alone.
+func TestConcurrentMachinesIndependent(t *testing.T) {
+	ref := load(t, uartEmitSrc)
+	ref.SetSP(0x10FF)
+	runUntilBreak(t, ref, 100_000)
+	ref.fault = nil
+	ref.AddCycles(UARTByteCycles)
+	ref.FlushDevices()
+	want := ref.UARTOutput()
+	wantCycles := ref.Cycles()
+
+	const machines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, machines)
+	for i := 0; i < machines; i++ {
+		m := load(t, uartEmitSrc)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.SetSP(0x10FF)
+			if err := m.Run(100_000); err != nil {
+				var f *Fault
+				if !errors.As(err, &f) || f.Kind != FaultBreak {
+					errs <- fmt.Errorf("run: %v", err)
+					return
+				}
+			}
+			m.fault = nil
+			m.AddCycles(UARTByteCycles)
+			m.FlushDevices()
+			if got := m.UARTOutput(); !bytes.Equal(got, want) {
+				errs <- fmt.Errorf("uart = %q, want %q", got, want)
+			}
+			if got := m.Cycles(); got != wantCycles {
+				errs <- fmt.Errorf("cycles = %d, want %d", got, wantCycles)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -29,6 +29,7 @@ package sensmart
 import (
 	"repro/internal/avr/asm"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/image"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
@@ -54,6 +55,9 @@ type (
 	KernelConfig = kernel.Config
 	// RewriterConfig tunes the base-station rewriter.
 	RewriterConfig = rewriter.Config
+	// ExperimentRunner regenerates the paper's tables and figures with a
+	// configurable worker pool (see internal/experiment).
+	ExperimentRunner = experiment.Runner
 )
 
 // NewSystem creates a fresh simulated node with an attached SenSmart
@@ -82,3 +86,11 @@ func NewMachine() *Machine { return mcu.New() }
 // the paper's applications are written in C/nesC; internal/minic provides
 // that front end (see its package documentation for the supported subset).
 func CompileC(name, src string) (*Program, error) { return minic.Compile(name, src) }
+
+// Experiments returns an evaluation-harness runner that fans each sweep
+// point out to the given number of workers (0 selects GOMAXPROCS, 1 forces
+// the serial path). Results merge in sweep order, so output is identical
+// for every concurrency level.
+func Experiments(concurrency int) ExperimentRunner {
+	return ExperimentRunner{Concurrency: concurrency}
+}
