@@ -8,6 +8,7 @@
 //	sensmart-bench -exp fig6 -activations 300
 //	sensmart-bench -exp fig7 -budget 80000000
 //	sensmart-bench -exp fig5 -parallel 4
+//	sensmart-bench -exp overhead -trace overhead.json -metrics
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 //
 // Sweeps fan out to -parallel workers (default GOMAXPROCS); each sweep
@@ -24,6 +25,11 @@ import (
 	"runtime"
 
 	"repro/internal/experiment"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,11 +41,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|benchparallel|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|benchparallel|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
 	out := fs.String("out", "BENCH_parallel.json", "output path for -exp benchparallel")
+	traceOut := fs.String("trace", "", "with -exp overhead: run all seven kernel benchmarks as one traced multitask workload and write Chrome trace_event JSON here (load in ui.perfetto.dev)")
+	metrics := fs.Bool("metrics", false, "with -exp overhead: print the traced multitask workload's kernel metrics snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +106,48 @@ func run(args []string) error {
 			fmt.Print(experiment.Figure8Table(points).Render())
 			return nil
 		},
+		"overhead": func() error {
+			t, err := r.KernelOverhead()
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.Render())
+			if *traceOut == "" && !*metrics {
+				return nil
+			}
+			// One traced multitask run of all seven benchmarks backs both
+			// the Chrome export and the metrics snapshot.
+			var programs []*image.Program
+			for _, b := range progs.KernelBenchmarks() {
+				programs = append(programs, b.Program.Clone())
+			}
+			rec, m, err := experiment.TraceRun(4_000_000_000, programs...)
+			if err != nil {
+				return err
+			}
+			if *metrics {
+				fmt.Println()
+				fmt.Print(m.Render())
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return err
+				}
+				werr := trace.WriteChrome(f, rec.Events(), trace.ChromeOptions{
+					ClockHz:     mcu.ClockHz,
+					ServiceName: kernel.ServiceName,
+				})
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return werr
+				}
+				fmt.Printf("trace: %d events written to %s\n", rec.Len(), *traceOut)
+			}
+			return nil
+		},
 		"benchparallel": func() error {
 			b, err := experiment.BenchParallel(*parallel, *activations)
 			if err != nil {
@@ -117,7 +167,7 @@ func run(args []string) error {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8"} {
+		for _, name := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "overhead"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -17,3 +17,9 @@ func TestBenchToolRejectsUnknownExperiment(t *testing.T) {
 		t.Error("expected unknown-experiment error")
 	}
 }
+
+func TestBenchToolKernelOverhead(t *testing.T) {
+	if err := run([]string{"-exp", "overhead"}); err != nil {
+		t.Errorf("overhead: %v", err)
+	}
+}

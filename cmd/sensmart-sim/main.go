@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats] file.{s,json}...
+//	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats]
+//	             [-trace out.json] [-metrics] file.{s,json}...
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/minic"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func run(args []string) error {
 	uart := fs.Bool("uart", false, "dump UART output after the run")
 	stats := fs.Bool("stats", false, "print kernel statistics")
 	verbose := fs.Bool("v", false, "trace kernel events")
+	traceOut := fs.String("trace", "", "record a cycle trace and write Chrome trace_event JSON to this file (load in chrome://tracing or ui.perfetto.dev)")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics snapshot (per-task utilization, per-service costs, kernel-vs-app cycles)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +69,11 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "kernel: "+format+"\n", a...)
 		}
 	}
-	sys := core.NewSystem(core.WithKernelConfig(cfg))
+	opts := []core.Option{core.WithKernelConfig(cfg)}
+	if *traceOut != "" {
+		opts = append(opts, core.WithTrace(trace.New()))
+	}
+	sys := core.NewSystem(opts...)
 	for _, p := range programs {
 		for c := 0; c < *copies; c++ {
 			if _, err := sys.Deploy(p); err != nil {
@@ -97,9 +105,26 @@ func run(args []string) error {
 		fmt.Printf("stats: switches=%d preemptions=%d branch-traps=%d relocations=%d (%d B moved) terminations=%d\n",
 			st.ContextSwitches, st.Preemptions, st.BranchTraps,
 			st.Relocations, st.RelocatedBytes, st.Terminations)
-		for class, n := range st.ServiceCalls {
-			fmt.Printf("  service %-14s %d\n", class, n)
+		for _, s := range sys.Metrics().Services {
+			fmt.Printf("  service %-14s %d\n", s.Name, s.Calls)
 		}
+	}
+	if *metrics {
+		fmt.Print(sys.Metrics().Render())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := sys.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n", sys.Trace().Len(), *traceOut)
 	}
 	if *uart {
 		fmt.Printf("uart: %q\n", m.UARTOutput())

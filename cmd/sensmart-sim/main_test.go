@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,5 +57,26 @@ func TestSimToolNativeRejectsMultiple(t *testing.T) {
 func TestSimToolUsage(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("expected usage error")
+	}
+}
+
+func TestSimToolTraceAndMetrics(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-cycles", "1000000", "-copies", "2", "-metrics", "-trace", out, src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace output has no events")
 	}
 }

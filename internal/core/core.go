@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/avr/asm"
 	"repro/internal/image"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/minic"
 	"repro/internal/rewriter"
+	"repro/internal/trace"
 )
 
 // Option configures a System.
@@ -42,6 +44,15 @@ func (o rewriterCfgOption) apply(opts *options) { opts.rewriterCfg = rewriter.Co
 // WithRewriterConfig overrides the base-station rewriter configuration
 // (grouping and trampoline-merge ablation switches).
 func WithRewriterConfig(cfg rewriter.Config) Option { return rewriterCfgOption(cfg) }
+
+type traceOption struct{ r *trace.Recorder }
+
+func (o traceOption) apply(opts *options) { opts.kernelCfg.Trace = o.r }
+
+// WithTrace attaches a trace recorder: the kernel and machine stamp typed
+// cycle events into it as the system runs. Compose with WithKernelConfig by
+// passing WithTrace after it (options apply in order).
+func WithTrace(r *trace.Recorder) Option { return traceOption{r} }
 
 // System is one node plus its build pipeline. Typical use:
 //
@@ -132,6 +143,26 @@ func (s *System) Kernel() *kernel.Kernel { return s.kernel }
 
 // Tasks returns the deployed tasks in deployment order.
 func (s *System) Tasks() []*kernel.Task { return append([]*kernel.Task(nil), s.tasks...) }
+
+// Trace returns the attached trace recorder, or nil when tracing is off.
+func (s *System) Trace() *trace.Recorder { return s.kernel.Cfg.Trace }
+
+// Metrics snapshots the kernel's per-task and per-service cycle accounting.
+// It works with or without an attached recorder.
+func (s *System) Metrics() *trace.Metrics { return s.kernel.Metrics() }
+
+// WriteTrace exports the recorded events as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto). It fails when no recorder is attached.
+func (s *System) WriteTrace(w io.Writer) error {
+	r := s.Trace()
+	if r == nil {
+		return errors.New("core: no trace recorder attached; use WithTrace")
+	}
+	return trace.WriteChrome(w, r.Events(), trace.ChromeOptions{
+		ClockHz:     mcu.ClockHz,
+		ServiceName: kernel.ServiceName,
+	})
+}
 
 // ErrNoSymbol is returned when a heap symbol lookup fails.
 var ErrNoSymbol = errors.New("core: no such heap symbol")

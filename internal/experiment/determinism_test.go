@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// tracedWorkload returns a fresh two-task benchmark mix (context switches
+// and preemptions included) for the determinism checks.
+func tracedWorkload(t *testing.T) []*image.Program {
+	t.Helper()
+	benches := progs.KernelBenchmarks()
+	var programs []*image.Program
+	for _, b := range benches {
+		if b.Name == "lfsr" || b.Name == "timer" {
+			programs = append(programs, b.Program.Clone())
+		}
+	}
+	if len(programs) != 2 {
+		t.Fatalf("expected lfsr+timer benchmarks, got %d programs", len(programs))
+	}
+	return programs
+}
+
+// TestTraceStreamsAreByteIdentical runs the same traced workload twice and
+// requires the two event streams — and the Chrome exports rendered from
+// them — to be byte-identical. The simulation owns every cycle, so any
+// difference is nondeterminism leaking into the recorder.
+func TestTraceStreamsAreByteIdentical(t *testing.T) {
+	rec1, _, err := TraceRun(4_000_000_000, tracedWorkload(t)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := TraceRun(4_000_000_000, tracedWorkload(t)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, enc2 := rec1.Encode(), rec2.Encode()
+	if len(enc1) == 0 {
+		t.Fatal("empty trace stream")
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("trace streams differ between identical runs (%d vs %d bytes)", len(enc1), len(enc2))
+	}
+
+	var json1, json2 bytes.Buffer
+	opts := trace.ChromeOptions{ClockHz: mcu.ClockHz, ServiceName: kernel.ServiceName}
+	if err := trace.WriteChrome(&json1, rec1.Events(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(&json2, rec2.Events(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(json1.Bytes(), json2.Bytes()) {
+		t.Fatal("Chrome exports differ between identical runs")
+	}
+}
+
+// TestKernelOverheadParallelMatchesSerial reruns the kernel-overhead
+// experiment with the worker pool on and off: tracing must not break the
+// harness guarantee that results merge in sweep order with byte-identical
+// rendered output.
+func TestKernelOverheadParallelMatchesSerial(t *testing.T) {
+	serial, err := Runner{Concurrency: 1}.KernelOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Concurrency: 4}.KernelOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Errorf("serial and parallel overhead tables differ:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}

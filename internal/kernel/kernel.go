@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/mcu"
 	"repro/internal/rewriter"
+	"repro/internal/trace"
 )
 
 // Config tunes the kernel. The zero value selects the defaults below.
@@ -45,8 +46,13 @@ type Config struct {
 	// stack growth beyond the initial allocation terminates the task. Used
 	// by the fixed-stack baseline and the ablation benchmarks.
 	DisableRelocation bool
-	// Logf, when set, receives kernel trace lines.
+	// Logf, when set, receives kernel trace lines (rendered from the same
+	// typed events the Trace recorder captures).
 	Logf func(format string, args ...any)
+	// Trace, when set, receives typed cycle-stamped events from the kernel
+	// and (wired by New) the machine. nil disables tracing at the cost of a
+	// single pointer comparison per emission site.
+	Trace *trace.Recorder
 	// OnTaskExit, when set, runs as a task terminates, before its memory
 	// region is released — the harness's chance to snapshot task heap state.
 	OnTaskExit func(k *Kernel, t *Task)
@@ -73,15 +79,33 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// numClasses bounds the per-service accounting arrays (rewriter.Class is
+// 1-based and tops out at ClassExit).
+const numClasses = 16
+
 // Stats aggregates kernel-level counters for the evaluation harnesses.
 type Stats struct {
 	ContextSwitches int
 	Preemptions     int
 	BranchTraps     uint64
+	SliceChecks     uint64
 	Relocations     int
 	RelocatedBytes  uint64
 	Terminations    int
 	ServiceCalls    map[rewriter.Class]uint64
+	// ServiceCycles is the total cycles charged while servicing each class
+	// (native instruction cycles plus kernel overhead, net of the one-cycle
+	// KTRAP fetch and of relocation/switch/idle costs, which are accounted
+	// separately below). ServiceOverhead is the kernel-overhead portion
+	// alone — the Table II cost per call.
+	ServiceCycles   [numClasses]uint64
+	ServiceOverhead [numClasses]uint64
+	// BootCycles, SwitchCycles and RelocCycles attribute the remaining
+	// kernel-charged cycles: system init, context switches, and stack
+	// relocation/region compaction (fixed cost plus per-byte copies).
+	BootCycles   uint64
+	SwitchCycles uint64
+	RelocCycles  uint64
 }
 
 // Sentinel errors.
@@ -141,12 +165,43 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 		Stats:    Stats{ServiceCalls: make(map[rewriter.Class]uint64)},
 	}
 	m.SetTrapHandler(k.handleTrap)
+	if cfg.Trace != nil {
+		// Share the recorder with the machine so interrupt/idle/halt stamps
+		// interleave with kernel events in global cycle order.
+		m.SetRecorder(cfg.Trace)
+	}
 	return k
 }
 
 func (k *Kernel) logf(format string, args ...any) {
 	if k.Cfg.Logf != nil {
 		k.Cfg.Logf(format, args...)
+	}
+}
+
+// taskName resolves a task id for event rendering.
+func (k *Kernel) taskName(id int32) string {
+	if int(id) < len(k.Tasks) && id >= 0 {
+		return k.Tasks[id].Name
+	}
+	return fmt.Sprintf("task%d", id)
+}
+
+// ev stamps and emits one lifecycle event, and renders it to Logf — the
+// human-log adapter that replaces the old free-form trace lines. Hot-path
+// kinds (trap enter/exit, slice checks) bypass this and emit straight into
+// the recorder behind their own nil check.
+func (k *Kernel) ev(e trace.Event) {
+	e.Cycle = k.M.Cycles()
+	if k.Cfg.Trace != nil {
+		k.Cfg.Trace.Emit(e)
+	}
+	if k.Cfg.Logf != nil {
+		switch e.Kind {
+		case trace.KindProgLoad, trace.KindTaskSpawn, trace.KindTaskExit,
+			trace.KindReloc, trace.KindBoot:
+			k.Cfg.Logf("%s", e.Format(k.taskName))
+		}
 	}
 }
 
@@ -193,7 +248,8 @@ func (k *Kernel) loadProgram(nat *rewriter.Naturalized) (*loadedProg, error) {
 		return nil, err
 	}
 	k.flashTop = base + uint32(len(words))
-	k.logf("loaded %s at %#x (%d words)", nat.Program.Name, base, len(words))
+	k.ev(trace.Event{Kind: trace.KindProgLoad, Task: -1, Arg: uint64(base),
+		Arg2: uint64(len(words)), Detail: nat.Program.Name})
 	return lp, nil
 }
 
@@ -242,7 +298,8 @@ func (k *Kernel) AddTask(name string, nat *rewriter.Naturalized) (*Task, error) 
 		// will pick the task up at the next scheduling point.
 		k.initTaskHeap(t)
 	}
-	k.logf("admitted task %s: heap %d stack %d region [%#x,%#x)", name, heap, stack, t.pl, t.pu)
+	k.ev(trace.Event{Kind: trace.KindTaskSpawn, Task: int32(t.ID), Arg: uint64(t.pl),
+		Arg2: uint64(size), Detail: name})
 	return t, nil
 }
 
@@ -279,10 +336,13 @@ func (k *Kernel) Boot() error {
 	}
 	k.booted = true
 	k.M.AddCycles(CostSysInit)
+	k.Stats.BootCycles += CostSysInit
 	for _, t := range k.Tasks {
 		k.initTaskHeap(t)
 	}
+	k.ev(trace.Event{Kind: trace.KindBoot, Task: -1, Arg: CostSysInit})
 	k.restore(k.Tasks[0], 0)
+	k.ev(trace.Event{Kind: trace.KindSwitch, Task: int32(k.Tasks[0].ID)})
 	return nil
 }
 
@@ -343,6 +403,10 @@ func (k *Kernel) Run(limit uint64) error {
 				return err
 			}
 			m.ClearFault()
+			if k.Cfg.Trace != nil {
+				k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindMemFault,
+					Task: int32(t.ID), Arg: uint64(f.Addr)})
+			}
 			k.terminate(t, fmt.Sprintf("memory isolation violation at %#x", f.Addr))
 			if k.Done() {
 				return nil
@@ -350,6 +414,10 @@ func (k *Kernel) Run(limit uint64) error {
 		default:
 			return err
 		}
+	}
+	// The cycle budget stopped the run, not the workload.
+	if k.Cfg.Trace != nil {
+		k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindBudget, Task: -1, Arg: limit})
 	}
 	return nil
 }
@@ -389,6 +457,19 @@ func (k *Kernel) restore(t *Task, contPC uint32) {
 		}
 	}
 	t.sliceStart = m.Cycles()
+	t.runStart = t.sliceStart
+}
+
+// accrueRun credits the running task's wall-clock cycles up to now. Called
+// whenever the task may stop holding the CPU (scheduling, termination) and
+// when a metrics snapshot is taken, so idle and context-switch cycles never
+// land inside any task's run window.
+func (k *Kernel) accrueRun(t *Task) {
+	now := k.M.Cycles()
+	if now > t.runStart {
+		t.runCycles += now - t.runStart
+	}
+	t.runStart = now
 }
 
 // schedule picks the next ready task after the current one and switches to
@@ -400,6 +481,9 @@ func (k *Kernel) schedule(contPC uint32) {
 	// starve them of scheduling.
 	k.wakeSleepers()
 	cur := k.Current()
+	if cur != nil {
+		k.accrueRun(cur)
+	}
 	next := k.pickNext()
 	for next == nil {
 		// Idle: advance to the earliest wake-up.
@@ -424,7 +508,16 @@ func (k *Kernel) schedule(contPC uint32) {
 	}
 	k.M.AddCycles(CostFullSwitch)
 	k.Stats.ContextSwitches++
+	k.Stats.SwitchCycles += CostFullSwitch
 	k.restore(next, 0)
+	if k.Cfg.Trace != nil {
+		prev := uint64(0)
+		if cur != nil {
+			prev = uint64(cur.ID) + 1
+		}
+		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindSwitch,
+			Task: int32(next.ID), Arg: prev, Arg2: CostFullSwitch})
+	}
 }
 
 // pickNext returns the next ready task in round-robin order (starting after
@@ -464,6 +557,9 @@ func (k *Kernel) wakeSleepers() {
 	for _, t := range k.Tasks {
 		if t.state == TaskSleeping && t.wakeAt <= now {
 			t.state = TaskReady
+			if k.Cfg.Trace != nil {
+				k.Cfg.Trace.Emit(trace.Event{Cycle: now, Kind: trace.KindWake, Task: int32(t.ID)})
+			}
 		}
 	}
 }
@@ -473,14 +569,24 @@ func (k *Kernel) terminate(t *Task, reason string) {
 	if t.state == TaskTerminated {
 		return
 	}
+	if k.Current() == t {
+		k.accrueRun(t)
+	}
 	t.state = TaskTerminated
 	t.ExitReason = reason
 	k.Stats.Terminations++
-	k.logf("task %s terminated: %s", t.Name, reason)
+	k.ev(trace.Event{Kind: trace.KindTaskExit, Task: int32(t.ID),
+		Arg: uint64(t.MaxStackUsed), Detail: reason})
 	if k.Cfg.OnTaskExit != nil {
 		k.Cfg.OnTaskExit(k, t)
 	}
+	size := t.pu - t.pl
+	relocBefore := k.Stats.RelocCycles
 	k.releaseRegion(t)
+	if k.Cfg.Trace != nil && size > 0 {
+		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindRelease,
+			Task: int32(t.ID), Arg: uint64(size), Arg2: k.Stats.RelocCycles - relocBefore})
+	}
 	if k.Current() == t {
 		k.cur = -1
 		k.schedule(0)

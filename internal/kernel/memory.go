@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // accessKind classifies where a translated logical address landed, which
 // selects the Table II overhead row.
@@ -56,6 +60,7 @@ func (k *Kernel) moveBlock(dst, src, n uint16) {
 	k.M.CopyData(dst, src, n)
 	k.Stats.RelocatedBytes += uint64(n)
 	k.M.AddCycles(uint64(n) * CostRelocPerByte)
+	k.Stats.RelocCycles += uint64(n) * CostRelocPerByte
 }
 
 // growStack enlarges t's stack area by at least need bytes by relocating
@@ -125,19 +130,27 @@ func (k *Kernel) growStack(t *Task, need uint16) bool {
 
 	k.M.AddCycles(CostStackReloc)
 	k.Stats.Relocations++
+	k.Stats.RelocCycles += CostStackReloc
 	t.Relocations++
+	relocBefore := k.Stats.RelocCycles - CostStackReloc
 
+	var granted uint16
+	var donor string
 	if useTrailing {
 		k.shiftUpInto(m, len(k.regions), trailingDelta)
-		k.logf("reloc: %s +%d bytes from free memory", t.Name, trailingDelta)
+		granted, donor = trailingDelta, "from free memory"
 	} else if bestIdx > m {
 		k.shiftUpInto(m, bestIdx, bestDelta)
-		k.logf("reloc: %s +%d bytes from %s (above)", t.Name, bestDelta, k.regions[bestIdx].Name)
+		granted, donor = bestDelta, "from "+k.regions[bestIdx].Name+" (above)"
 	} else {
 		k.shiftDownInto(m, bestIdx, bestDelta)
-		k.logf("reloc: %s +%d bytes from %s (below)", t.Name, bestDelta, k.regions[bestIdx].Name)
+		granted, donor = bestDelta, "from "+k.regions[bestIdx].Name+" (below)"
 	}
 	k.syncAfterMove()
+	relocCost := k.Stats.RelocCycles - relocBefore
+	t.KernelCycles += relocCost
+	k.ev(trace.Event{Kind: trace.KindReloc, Task: int32(t.ID),
+		Arg: uint64(granted), Arg2: relocCost, Detail: donor})
 	return true
 }
 
@@ -239,6 +252,10 @@ func (k *Kernel) releaseRegion(t *Task) {
 // a task's memory region are intercepted and treated as invalid
 // instructions", Section IV-C2).
 func (k *Kernel) faultTask(t *Task, logical uint16) {
+	if k.Cfg.Trace != nil {
+		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindMemFault,
+			Task: int32(t.ID), Arg: uint64(logical)})
+	}
 	k.terminate(t, fmt.Sprintf("invalid logical address %#x", logical))
 }
 

@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"repro/internal/rewriter"
+	"repro/internal/trace"
+)
+
+// Metrics builds the aggregation snapshot: the kernel-vs-application cycle
+// split, per-service trap counts and costs, and per-task utilization and
+// stack statistics. It works from the always-on counters, so it needs no
+// recorder — but when Cfg.Trace is attached, the snapshot also reports the
+// recorded event count.
+func (k *Kernel) Metrics() *trace.Metrics {
+	if cur := k.Current(); cur != nil {
+		// Close the running task's open window so RunCycles is current.
+		k.accrueRun(cur)
+	}
+	s := &k.Stats
+	m := &trace.Metrics{
+		TotalCycles:     k.M.Cycles(),
+		IdleCycles:      k.M.IdleCycles(),
+		SwitchCycles:    s.SwitchCycles,
+		RelocCycles:     s.RelocCycles,
+		BootCycles:      s.BootCycles,
+		ContextSwitches: s.ContextSwitches,
+		Preemptions:     s.Preemptions,
+		SliceChecks:     s.SliceChecks,
+		BranchTraps:     s.BranchTraps,
+		Relocations:     s.Relocations,
+		RelocatedBytes:  s.RelocatedBytes,
+		Terminations:    s.Terminations,
+	}
+	for class := rewriter.Class(1); class < numClasses; class++ {
+		calls := s.ServiceCalls[class]
+		if calls == 0 && s.ServiceCycles[class] == 0 {
+			continue
+		}
+		m.ServiceOverheadCycles += s.ServiceOverhead[class]
+		m.Services = append(m.Services, trace.ServiceMetrics{
+			Class:    int(class),
+			Name:     class.String(),
+			Calls:    calls,
+			Cycles:   s.ServiceCycles[class],
+			Overhead: s.ServiceOverhead[class],
+		})
+	}
+	m.KernelCycles = m.ServiceOverheadCycles + m.SwitchCycles + m.RelocCycles + m.BootCycles
+	if busy := m.TotalCycles - m.IdleCycles; busy > m.KernelCycles {
+		m.AppCycles = busy - m.KernelCycles
+	}
+
+	busy := float64(m.TotalCycles - m.IdleCycles)
+	for _, t := range k.Tasks {
+		tm := trace.TaskMetrics{
+			ID:           t.ID,
+			Name:         t.Name,
+			State:        t.state.String(),
+			ExitReason:   t.ExitReason,
+			Switches:     t.Switches,
+			RunCycles:    t.runCycles,
+			KernelCycles: t.KernelCycles,
+			StackPeak:    t.MaxStackUsed,
+			StackAlloc:   t.StackAlloc(),
+			Relocations:  t.Relocations,
+		}
+		if tm.RunCycles > tm.KernelCycles {
+			tm.AppCycles = tm.RunCycles - tm.KernelCycles
+		}
+		if busy > 0 {
+			tm.Utilization = float64(tm.RunCycles) / busy
+		}
+		for class := rewriter.Class(1); class < numClasses; class++ {
+			calls := t.ServiceCalls[class]
+			if calls == 0 {
+				continue
+			}
+			tm.Traps += calls
+			tm.ByService = append(tm.ByService, trace.ServiceMetrics{
+				Class: int(class), Name: class.String(), Calls: calls,
+			})
+		}
+		m.Tasks = append(m.Tasks, tm)
+	}
+
+	if r := k.Cfg.Trace; r != nil {
+		m.Events = r.Len()
+		m.DroppedEvents = r.Dropped()
+	}
+	return m
+}
+
+// ServiceName renders a service class id for the Chrome exporter.
+func ServiceName(class uint64) string { return rewriter.Class(class).String() }

@@ -65,6 +65,11 @@ type Task struct {
 	// sliceStart is the cycle at which the task's current time slice began.
 	sliceStart uint64
 
+	// runStart marks where the task's current run window began; runCycles
+	// accrues completed windows (see Kernel.accrueRun).
+	runStart  uint64
+	runCycles uint64
+
 	// timer3Latch holds the latched high byte for virtualized TCNT3 reads.
 	timer3Latch byte
 
@@ -73,7 +78,16 @@ type Task struct {
 	MaxStackUsed uint16 // high-water mark of stack bytes in use
 	ExitReason   string // why the task terminated, if it did
 	Switches     int    // times this task was scheduled in
+	// ServiceCalls counts KTRAP dispatches by service class; KernelCycles
+	// accrues the kernel overhead charged on this task's behalf (service
+	// overheads plus relocations it triggered).
+	ServiceCalls [16]uint64
+	KernelCycles uint64
 }
+
+// RunCycles returns the wall-clock cycles the task has held the CPU so far
+// (completed run windows only; Kernel.Metrics accrues the open window).
+func (t *Task) RunCycles() uint64 { return t.runCycles }
 
 // State returns the task's scheduling state.
 func (t *Task) State() TaskState { return t.state }

@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/mcu"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+	"repro/internal/trace"
+)
+
+// probeSrc exercises the service classes the standard benchmarks never hit:
+// direct I/O, SP read/write, program-memory loads, and kernel-mediated sleep.
+const probeSrc = `
+main:
+    ldi r16, 7
+    sts 0x3E, r16
+    lds r17, 0x3E
+    in r18, SPL
+    out SPL, r18
+    in r19, SPH
+    out SPH, r19
+    ldi r30, lo8(pmbyte(tab))
+    ldi r31, hi8(pmbyte(tab))
+    lpm r20, Z
+    sleep
+    break
+tab:
+    .dw 0x1234
+`
+
+// fixedServiceCost is the Table II kernel overhead charged per dispatch for
+// every service whose cost does not depend on the serviced instruction
+// (indirect memory is excluded: its overhead varies with the access target
+// and group size).
+var fixedServiceCost = map[rewriter.Class]uint64{
+	rewriter.ClassBranch:       CostBranchTrap,
+	rewriter.ClassCall:         CostStackCheck,
+	rewriter.ClassIndirectCall: CostProgMem + CostStackCheck,
+	rewriter.ClassIndirectJump: CostProgMem,
+	rewriter.ClassDirectIO:     CostDirectIO,
+	rewriter.ClassReservedIO:   CostReservedIO,
+	rewriter.ClassDirectMem:    CostDirectMem,
+	rewriter.ClassSPRead:       CostGetSP,
+	rewriter.ClassSPWrite:      CostSetSP,
+	rewriter.ClassSleep:        CostSleep,
+	rewriter.ClassLpm:          CostProgMem,
+	rewriter.ClassExit:         0,
+}
+
+// costWorkload boots one kernel running the seven Section V-B benchmarks,
+// the class probe, and a relocating tree search, with tracing attached.
+func costWorkload(t *testing.T) (*Kernel, []trace.Event) {
+	t.Helper()
+	var nats []*rewriter.Naturalized
+	for _, b := range progs.KernelBenchmarks() {
+		nat, err := rewriter.Rewrite(b.Program, rewriter.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nats = append(nats, nat)
+	}
+	nats = append(nats, naturalize(t, "probe", probeSrc))
+	ts, err := progs.TreeSearch(progs.TreeSearchParams{Trees: 4, NodesPerTree: 20, Searches: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nats = append(nats, natProg(t, ts))
+	rec := trace.New()
+	k, _ := bootKernel(t, Config{Trace: rec}, nats...)
+	if err := k.Run(4_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Done() {
+		t.Fatal("cost workload did not run to completion")
+	}
+	return k, rec.Events()
+}
+
+// TestServiceOverheadMatchesTableII verifies the kernel's per-class overhead
+// ledger against the cost model: for every fixed-cost service, the booked
+// overhead must be exactly calls x the Table II constant — no charge may be
+// dropped, doubled, or misclassified, however the services interleave.
+func TestServiceOverheadMatchesTableII(t *testing.T) {
+	k, _ := costWorkload(t)
+	exercised := 0
+	for class, cost := range fixedServiceCost {
+		calls := k.Stats.ServiceCalls[class]
+		if calls == 0 {
+			continue
+		}
+		exercised++
+		if got, want := k.Stats.ServiceOverhead[class], calls*cost; got != want {
+			t.Errorf("%v: overhead = %d for %d calls, want %d (%d per call)",
+				class, got, calls, want, cost)
+		}
+	}
+	// The workload must actually cover the service surface, or the loop
+	// above verifies nothing.
+	if exercised < 9 {
+		t.Errorf("only %d fixed-cost service classes exercised, want >= 9", exercised)
+	}
+	if k.Stats.ServiceCalls[rewriter.ClassIndirectMem] == 0 {
+		t.Error("indirect-memory service not exercised")
+	}
+}
+
+// TestTrapWindowsDecomposeExactly replays the trace and checks, for every
+// single KTRAP, that the wall-clock window between enter and exit equals the
+// service's own charge (TrapExit carries it) plus the relocation, region
+// release, context-switch, and idle cycles recorded inside the window; and
+// that per class the windows sum to the kernel's ServiceCycles ledger. This
+// is the cycle-decomposition invariant the -trace exports rely on.
+func TestTrapWindowsDecomposeExactly(t *testing.T) {
+	k, events := costWorkload(t)
+	var perClass [16]uint64
+	open := map[int32]trace.Event{}
+	nested := map[int32]uint64{}
+	checked := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindTrapEnter:
+			open[e.Task] = e
+			nested[e.Task] = 0
+		case trace.KindTrapExit:
+			enter, ok := open[e.Task]
+			if !ok {
+				t.Fatalf("trap exit without enter: task %d cycle %d", e.Task, e.Cycle)
+			}
+			delete(open, e.Task)
+			if window := e.Cycle - enter.Cycle; window != e.Arg2+nested[e.Task] {
+				t.Fatalf("task %d %v trap at cycle %d: window %d cycles != charge %d + nested %d",
+					e.Task, rewriter.Class(e.Arg), enter.Cycle, window, e.Arg2, nested[e.Task])
+			}
+			perClass[e.Arg&15] += e.Arg2
+			checked++
+		case trace.KindReloc, trace.KindRelease, trace.KindSwitch:
+			for task := range open {
+				nested[task] += e.Arg2
+			}
+		case trace.KindIdle:
+			for task := range open {
+				nested[task] += e.Arg
+			}
+		}
+	}
+	if len(open) != 0 {
+		t.Errorf("%d trap windows never closed", len(open))
+	}
+	if checked < 1000 {
+		t.Errorf("only %d trap windows checked; workload too small", checked)
+	}
+	for class := 1; class < 16; class++ {
+		if got, want := perClass[class], k.Stats.ServiceCycles[class]; got != want {
+			t.Errorf("%v: trap windows sum to %d cycles, ledger charged %d",
+				rewriter.Class(class), got, want)
+		}
+	}
+}
+
+// benchmarkKernelRun measures a full lfsr benchmark run, optionally traced,
+// to expose any slowdown the instrumentation adds when disabled (the
+// emission sites are a single nil check when Config.Trace is unset).
+func benchmarkKernelRun(b *testing.B, traced bool) {
+	var prog *image.Program
+	for _, kb := range progs.KernelBenchmarks() {
+		if kb.Name == "lfsr" {
+			prog = kb.Program
+		}
+	}
+	nat, err := rewriter.Rewrite(prog, rewriter.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{}
+		if traced {
+			cfg.Trace = trace.New()
+		}
+		m := mcu.New()
+		k := New(m, cfg)
+		if _, err := k.AddTask("lfsr", nat); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(4_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if !k.Done() {
+			b.Fatal("benchmark task did not finish")
+		}
+	}
+}
+
+func BenchmarkKernelRunUntraced(b *testing.B) { benchmarkKernelRun(b, false) }
+func BenchmarkKernelRunTraced(b *testing.B)   { benchmarkKernelRun(b, true) }

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/rewriter"
+	"repro/internal/trace"
+)
+
+// busySrc never exits: every inner brne and the outer rjmp are backward
+// branches, so the software-trap preemption machinery fires continuously.
+const busySrc = `
+main:
+outer:
+    ldi r16, 60
+inner:
+    dec r16
+    brne inner
+    rjmp outer
+`
+
+// runTraced boots cfg with the given programs, attaches a fresh recorder,
+// runs for limit cycles, and returns kernel + events.
+func runTraced(t *testing.T, cfg Config, limit uint64, srcs ...string) (*Kernel, []trace.Event) {
+	t.Helper()
+	rec := trace.New()
+	cfg.Trace = rec
+	var nats []*rewriter.Naturalized
+	for i, src := range srcs {
+		nats = append(nats, naturalize(t, "spin"+suffix(i), src))
+	}
+	k, _ := bootKernel(t, cfg, nats...)
+	if err := k.Run(limit); err != nil {
+		t.Fatal(err)
+	}
+	return k, rec.Events()
+}
+
+// TestRoundRobinPreemptsWithinSlice drives two CPU-bound tasks and checks,
+// from the trace alone, that every preemption lands after SliceCycles but
+// within one branch-trap window of the slice boundary — the paper's
+// Section IV-B guarantee. The window is self-calibrated from the observed
+// spacing of KindSliceCheck events, so the test does not hard-code the
+// workload's cycles-per-branch.
+func TestRoundRobinPreemptsWithinSlice(t *testing.T) {
+	cfg := Config{}
+	cfg.setDefaults()
+	k, events := runTraced(t, Config{}, 12*cfg.SliceCycles, busySrc, busySrc)
+
+	// Calibrate: the widest gap between consecutive slice checks of one
+	// task with no intervening context switch.
+	var maxGap uint64
+	lastCheck := map[int32]uint64{}
+	sliceStart := map[int32]uint64{}
+	var preempts, switches int
+	var lastSwitchTask int32 = -1
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindSwitch:
+			delete(lastCheck, e.Task)
+			sliceStart[e.Task] = e.Cycle
+			if switches > 0 && e.Task == lastSwitchTask {
+				t.Errorf("switch %d handed the CPU back to task %d (not round-robin)", switches, e.Task)
+			}
+			lastSwitchTask = e.Task
+			switches++
+		case trace.KindSliceCheck:
+			if prev, ok := lastCheck[e.Task]; ok && e.Cycle-prev > maxGap {
+				maxGap = e.Cycle - prev
+			}
+			lastCheck[e.Task] = e.Cycle
+		case trace.KindPreempt:
+			preempts++
+			start, ok := sliceStart[e.Task]
+			if !ok {
+				t.Fatalf("preemption of task %d with no preceding switch", e.Task)
+			}
+			elapsed := e.Cycle - start
+			if elapsed < cfg.SliceCycles {
+				t.Errorf("preempt at cycle %d: slice ran only %d cycles, want >= %d",
+					e.Cycle, elapsed, cfg.SliceCycles)
+			}
+			if maxGap > 0 && elapsed > cfg.SliceCycles+maxGap {
+				t.Errorf("preempt at cycle %d: slice ran %d cycles, want <= SliceCycles+%d",
+					e.Cycle, elapsed, maxGap)
+			}
+		}
+	}
+	if preempts < 8 {
+		t.Errorf("only %d preemptions in 12 slices, want >= 8", preempts)
+	}
+	if maxGap == 0 {
+		t.Error("never saw two consecutive slice checks; calibration failed")
+	}
+	if k.Stats.Preemptions != preempts {
+		t.Errorf("Stats.Preemptions = %d, trace has %d", k.Stats.Preemptions, preempts)
+	}
+	if k.Stats.ContextSwitches != switches-1 { // boot's first dispatch is not a switch
+		t.Errorf("Stats.ContextSwitches = %d, trace has %d switch events (incl. boot)",
+			k.Stats.ContextSwitches, switches)
+	}
+}
+
+// TestBranchTrapRateIsOneIn256 checks the 1-in-BranchInterval software-trap
+// divisor: the trace's backward-branch trap count (TrapEnter with the
+// backward marker) must step the slice-check counter exactly once every
+// BranchInterval traps.
+func TestBranchTrapRateIsOneIn256(t *testing.T) {
+	cfg := Config{}
+	cfg.setDefaults()
+	k, events := runTraced(t, Config{}, 6*cfg.SliceCycles, busySrc)
+
+	var backward, checks uint64
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindTrapEnter:
+			if e.Arg == uint64(rewriter.ClassBranch) && e.Arg2 == 1 {
+				backward++
+			}
+		case trace.KindSliceCheck:
+			checks++
+		}
+	}
+	if backward == 0 {
+		t.Fatal("no backward-branch traps recorded")
+	}
+	if backward != k.Stats.BranchTraps {
+		t.Errorf("trace backward traps = %d, Stats.BranchTraps = %d", backward, k.Stats.BranchTraps)
+	}
+	if checks != k.Stats.SliceChecks {
+		t.Errorf("trace slice checks = %d, Stats.SliceChecks = %d", checks, k.Stats.SliceChecks)
+	}
+	if want := backward / uint64(cfg.BranchInterval); checks != want {
+		t.Errorf("%d backward traps produced %d slice checks, want %d (1 in %d)",
+			backward, checks, want, cfg.BranchInterval)
+	}
+	// The single busy task never yields, so no preemption should switch it out.
+	if k.Stats.ContextSwitches != 0 {
+		t.Errorf("single-task run context-switched %d times", k.Stats.ContextSwitches)
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/progs"
+	"repro/internal/rewriter"
+	"repro/internal/trace"
+)
+
+// natProg rewrites a generated workload program for the kernel.
+func natProg(t *testing.T, p *image.Program) *rewriter.Naturalized {
+	t.Helper()
+	nat, err := rewriter.Rewrite(p, rewriter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nat
+}
+
+// TestTreeSearchRelocationGoldens pins the stack-management behaviour of the
+// Section V-D tree-search workload: two tasks recursing 8 levels deep (15
+// stack bytes per level) each outgrow the 64-byte initial stack once, and
+// the kernel's relocation ledger, the per-task counters, and the trace
+// stream must all agree on the result. The literals are goldens from the
+// deterministic simulation; a change here means stack management changed.
+func TestTreeSearchRelocationGoldens(t *testing.T) {
+	prog, err := progs.TreeSearch(progs.TreeSearchParams{Trees: 4, NodesPerTree: 20, Searches: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := natProg(t, prog)
+	rec := trace.New()
+	k, tasks := bootKernel(t, Config{Trace: rec}, nat, nat)
+	if err := k.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Done() {
+		t.Fatal("treesearch tasks did not terminate")
+	}
+	for _, task := range tasks {
+		if task.ExitReason != "exited" {
+			t.Errorf("%s exit = %q, want exited", task.Name, task.ExitReason)
+		}
+		if task.MaxStackUsed != 120 {
+			t.Errorf("%s stack peak = %d, want 120", task.Name, task.MaxStackUsed)
+		}
+		if task.StackAlloc() != 200 {
+			t.Errorf("%s stack alloc = %d, want 200", task.Name, task.StackAlloc())
+		}
+		if task.Relocations != 1 {
+			t.Errorf("%s relocations = %d, want 1", task.Name, task.Relocations)
+		}
+	}
+	if k.Stats.Relocations != 2 {
+		t.Errorf("Stats.Relocations = %d, want 2", k.Stats.Relocations)
+	}
+	if k.Stats.RelocatedBytes != 826 {
+		t.Errorf("Stats.RelocatedBytes = %d, want 826", k.Stats.RelocatedBytes)
+	}
+	// Every relocation charges the fixed Table II cost plus the per-byte
+	// copy; compaction moves charge per-byte only but also count their
+	// bytes, so the ledger decomposes exactly.
+	if want := uint64(k.Stats.Relocations)*CostStackReloc + k.Stats.RelocatedBytes*CostRelocPerByte; k.Stats.RelocCycles != want {
+		t.Errorf("Stats.RelocCycles = %d, want %d (relocs*%d + bytes*%d)",
+			k.Stats.RelocCycles, want, CostStackReloc, CostRelocPerByte)
+	}
+
+	// The trace must carry one KindReloc per relocation, and the granted
+	// bytes must add up to each task's growth beyond the initial stack.
+	granted := map[int32]uint64{}
+	relocEvents := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindReloc {
+			relocEvents++
+			granted[e.Task] += e.Arg
+		}
+	}
+	if relocEvents != k.Stats.Relocations {
+		t.Errorf("trace has %d KindReloc events, Stats.Relocations = %d", relocEvents, k.Stats.Relocations)
+	}
+	for _, task := range tasks {
+		if want := uint64(task.StackAlloc() - 64); granted[int32(task.ID)] != want {
+			t.Errorf("%s: trace grants sum to %d bytes, alloc grew by %d", task.Name, granted[int32(task.ID)], want)
+		}
+	}
+}
+
+// TestAllocDemoGoldens pins the dynamic-allocation workload: a shallow task
+// that never outgrows its initial stack must finish without relocations.
+func TestAllocDemoGoldens(t *testing.T) {
+	prog, err := progs.AllocDemo(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, tasks := bootKernel(t, Config{}, natProg(t, prog))
+	if err := k.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Done() {
+		t.Fatal("alloc demo did not terminate")
+	}
+	task := tasks[0]
+	if task.ExitReason != "exited" {
+		t.Errorf("exit = %q, want exited", task.ExitReason)
+	}
+	if task.MaxStackUsed != 2 {
+		t.Errorf("stack peak = %d, want 2", task.MaxStackUsed)
+	}
+	if task.Relocations != 0 || k.Stats.Relocations != 0 {
+		t.Errorf("relocations = %d/%d, want 0", task.Relocations, k.Stats.Relocations)
+	}
+}
+
+// TestDisableRelocationAblationTerminates checks the Section IV-C3 ablation:
+// with relocation off, the deep-recursion workload must not hang or corrupt
+// memory — every task dies cleanly on its first stack overflow and the run
+// terminates.
+func TestDisableRelocationAblationTerminates(t *testing.T) {
+	prog, err := progs.TreeSearch(progs.TreeSearchParams{Trees: 4, NodesPerTree: 20, Searches: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := natProg(t, prog)
+	rec := trace.New()
+	k, tasks := bootKernel(t, Config{DisableRelocation: true, Trace: rec}, nat, nat)
+	if err := k.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Done() {
+		t.Fatal("ablation run did not terminate")
+	}
+	for _, task := range tasks {
+		if !strings.HasPrefix(task.ExitReason, "stack exhausted") {
+			t.Errorf("%s exit = %q, want stack exhausted", task.Name, task.ExitReason)
+		}
+	}
+	exits := 0
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindReloc:
+			t.Errorf("relocation event at cycle %d despite DisableRelocation", e.Cycle)
+		case trace.KindTaskExit:
+			exits++
+			if !strings.HasPrefix(e.Detail, "stack exhausted") {
+				t.Errorf("exit event detail = %q, want stack exhausted", e.Detail)
+			}
+		}
+	}
+	if exits != len(tasks) {
+		t.Errorf("trace has %d KindTaskExit events, want %d", exits, len(tasks))
+	}
+}

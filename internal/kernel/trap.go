@@ -7,11 +7,12 @@ import (
 	"repro/internal/ioregs"
 	"repro/internal/mcu"
 	"repro/internal/rewriter"
+	"repro/internal/trace"
 )
 
-// handleTrap is the kernel entry point: it dispatches a KTRAP escape to the
-// service the rewriter selected and charges the Table II cycle cost. On
-// return the machine PC points at the continuation the service chose.
+// handleTrap is the kernel entry point: it validates the KTRAP escape,
+// brackets the dispatch with trap enter/exit trace events, and accounts the
+// cycles the service charged.
 func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 	if int(id) >= len(k.traps) {
 		return fmt.Errorf("kernel: unknown trap id %d at pc=%#x", id, m.PC())
@@ -29,16 +30,44 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 	p := ref.patch
 	base := ref.prog.base
 	k.Stats.ServiceCalls[p.Class]++
+	t.ServiceCalls[p.Class]++
 
 	// The hardware SP is authoritative while the task runs natively.
 	t.spPhys = m.SP()
 	t.noteStackUse()
 
+	r := k.Cfg.Trace
+	if r != nil {
+		back := uint64(0)
+		if p.Class == rewriter.ClassBranch && p.Backward {
+			back = 1
+		}
+		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapEnter,
+			Task: int32(t.ID), Arg: uint64(p.Class), Arg2: back})
+	}
+	before := k.Stats.ServiceCycles[p.Class]
+	err := k.dispatch(t, p, base)
+	if r != nil {
+		// Arg2 is the cycles the service proper charged; relocation, switch
+		// and idle cycles inside the window carry their own events, so the
+		// enter-to-exit clock delta decomposes exactly (see trace_cost_test).
+		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapExit,
+			Task: int32(t.ID), Arg: uint64(p.Class),
+			Arg2: k.Stats.ServiceCycles[p.Class] - before})
+	}
+	return err
+}
+
+// dispatch routes one validated trap to its service and charges the Table II
+// cycle cost. On return the machine PC points at the continuation the
+// service chose.
+func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
+	m := k.M
 	switch p.Class {
 	case rewriter.ClassBranch:
 		k.serviceBranch(t, p, base)
 	case rewriter.ClassCall:
-		k.charge(CostStackCheck, p.Orig)
+		k.charge(t, p.Class, CostStackCheck, p.Orig)
 		if !k.ensureStack(t, k.Cfg.RedZone+2) {
 			return nil
 		}
@@ -46,7 +75,7 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		t.spPhys = m.SP()
 		m.SetPC(base + p.NatTarget)
 	case rewriter.ClassIndirectCall:
-		k.charge(CostProgMem+CostStackCheck, p.Orig)
+		k.charge(t, p.Class, CostProgMem+CostStackCheck, p.Orig)
 		if !k.ensureStack(t, k.Cfg.RedZone+2) {
 			return nil
 		}
@@ -55,11 +84,11 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		t.spPhys = m.SP()
 		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
 	case rewriter.ClassIndirectJump:
-		k.charge(CostProgMem, p.Orig)
+		k.charge(t, p.Class, CostProgMem, p.Orig)
 		z := m.RegPair(avr.RegZ)
 		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
 	case rewriter.ClassDirectIO:
-		k.charge(CostDirectIO, p.Orig)
+		k.charge(t, p.Class, CostDirectIO, p.Orig)
 		addr := uint16(p.Orig.Imm)
 		if p.Orig.Op == avr.OpLds {
 			m.SetReg(p.Orig.Dst, m.ReadBus(addr))
@@ -68,11 +97,11 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		}
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassReservedIO:
-		k.charge(CostReservedIO, p.Orig)
+		k.charge(t, p.Class, CostReservedIO, p.Orig)
 		k.serviceReservedIO(t, p.Orig)
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassDirectMem:
-		k.charge(CostDirectMem, p.Orig)
+		k.charge(t, p.Class, CostDirectMem, p.Orig)
 		if !k.serviceDirectMem(t, p.Orig) {
 			return nil
 		}
@@ -83,7 +112,7 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		}
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassSPRead:
-		k.charge(CostGetSP, p.Orig)
+		k.charge(t, p.Class, CostGetSP, p.Orig)
 		logical := t.logicalSP()
 		v := byte(logical)
 		if p.Orig.Imm == int32(ioregs.SPH) {
@@ -92,18 +121,22 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		m.SetReg(p.Orig.Dst, v)
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassSPWrite:
-		k.charge(CostSetSP, p.Orig)
+		k.charge(t, p.Class, CostSetSP, p.Orig)
 		if !k.serviceSPWrite(t, p.Orig) {
 			return nil
 		}
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassSleep:
-		k.charge(CostSleep, p.Orig)
+		k.charge(t, p.Class, CostSleep, p.Orig)
 		t.state = TaskSleeping
 		t.wakeAt = m.Cycles() + k.Cfg.SleepQuantum
+		if k.Cfg.Trace != nil {
+			k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindSleep,
+				Task: int32(t.ID), Arg: t.wakeAt})
+		}
 		k.schedule(base + p.NatNext)
 	case rewriter.ClassLpm:
-		k.charge(CostProgMem, p.Orig)
+		k.charge(t, p.Class, CostProgMem, p.Orig)
 		k.serviceLpm(t, p.Orig, base)
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassExit:
@@ -115,12 +148,25 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 }
 
 // charge accounts a service: the original instruction's own cycles plus the
-// kernel overhead, minus the one cycle the KTRAP fetch already cost.
-func (k *Kernel) charge(overhead int, orig avr.Inst) {
+// kernel overhead, minus the one cycle the KTRAP fetch already cost. The
+// per-class ledgers record the in-window charge (ServiceCycles) and the
+// Table II overhead alone (ServiceOverhead); the latter also accrues on the
+// task, attributing kernel time to who caused it.
+func (k *Kernel) charge(t *Task, class rewriter.Class, overhead int, orig avr.Inst) {
 	total := orig.Op.BaseCycles() + overhead - 1
 	if total > 0 {
 		k.M.AddCycles(uint64(total))
+		k.Stats.ServiceCycles[class] += uint64(total)
 	}
+	k.Stats.ServiceOverhead[class] += uint64(overhead)
+	t.KernelCycles += uint64(overhead)
+}
+
+// chargeExtra accounts additional native cycles inside a service (e.g. the
+// branch-taken penalty) that are not kernel overhead.
+func (k *Kernel) chargeExtra(class rewriter.Class, n uint64) {
+	k.M.AddCycles(n)
+	k.Stats.ServiceCycles[class] += n
 }
 
 // serviceBranch implements the patched-branch service: evaluate the branch
@@ -128,7 +174,7 @@ func (k *Kernel) charge(overhead int, orig avr.Inst) {
 // trap, and preempt when the time slice has expired (Section IV-B).
 func (k *Kernel) serviceBranch(t *Task, p *rewriter.Patch, base uint32) {
 	m := k.M
-	k.charge(CostBranchTrap, p.Orig)
+	k.charge(t, p.Class, CostBranchTrap, p.Orig)
 	taken := true
 	switch p.Orig.Op {
 	case avr.OpBrbs:
@@ -139,14 +185,23 @@ func (k *Kernel) serviceBranch(t *Task, p *rewriter.Patch, base uint32) {
 	next := base + p.NatNext
 	if taken {
 		next = base + p.NatTarget
-		m.AddCycles(1) // branch-taken penalty, as on hardware
+		k.chargeExtra(p.Class, 1) // branch-taken penalty, as on hardware
 	}
 	if p.Backward {
 		k.Stats.BranchTraps++
 		if t.branchLeft--; t.branchLeft == 0 {
 			t.branchLeft = k.Cfg.BranchInterval
+			k.Stats.SliceChecks++
+			if k.Cfg.Trace != nil {
+				k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(),
+					Kind: trace.KindSliceCheck, Task: int32(t.ID)})
+			}
 			if m.Cycles()-t.sliceStart >= k.Cfg.SliceCycles {
 				k.Stats.Preemptions++
+				if k.Cfg.Trace != nil {
+					k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(),
+						Kind: trace.KindPreempt, Task: int32(t.ID)})
+				}
 				k.schedule(next)
 				return
 			}
@@ -194,6 +249,7 @@ func (k *Kernel) serviceDirectMem(t *Task, in avr.Inst) bool {
 func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 	m := k.M
 	cycles := -1 // the KTRAP fetch already charged one
+	sumBase := 0 // what the unpatched accesses would have cost natively
 	for idx, in := range p.Group {
 		ptr, _ := in.PointerReg()
 		v := m.RegPair(ptr)
@@ -216,7 +272,7 @@ func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 		}
 		phys, kind := t.translate(logical)
 		if kind == accessInvalid {
-			m.AddCycles(uint64(cycles + 1))
+			k.accountIndirect(t, cycles+1, sumBase)
 			k.faultTask(t, logical)
 			return false
 		}
@@ -246,6 +302,7 @@ func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 			m.SetRegPair(ptr, wbVal)
 		}
 		cycles += in.Op.BaseCycles()
+		sumBase += in.Op.BaseCycles()
 		if idx == 0 {
 			switch kind {
 			case accessIO:
@@ -259,10 +316,22 @@ func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 			cycles += CostGroupExtra
 		}
 	}
-	if cycles > 0 {
-		m.AddCycles(uint64(cycles))
-	}
+	k.accountIndirect(t, cycles, sumBase)
 	return true
+}
+
+// accountIndirect charges the accumulated indirect-memory service cycles and
+// books the overhead: the in-window charge plus the already-spent KTRAP fetch
+// cycle, minus what the unpatched accesses would have cost natively.
+func (k *Kernel) accountIndirect(t *Task, total, sumBase int) {
+	if total > 0 {
+		k.M.AddCycles(uint64(total))
+		k.Stats.ServiceCycles[rewriter.ClassIndirectMem] += uint64(total)
+	}
+	if over := total + 1 - sumBase; over > 0 {
+		k.Stats.ServiceOverhead[rewriter.ClassIndirectMem] += uint64(over)
+		t.KernelCycles += uint64(over)
+	}
 }
 
 // serviceSPWrite assembles the task's logical SP byte-wise and commits the

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/avr"
+	"repro/internal/trace"
 )
 
 // Memory geometry and clock rate of the simulated MICA2 node.
@@ -72,6 +73,11 @@ type Machine struct {
 	wbVal    uint16 // pointer write-back scratch for indirect accesses
 
 	trap TrapHandler
+
+	// rec, when non-nil, receives cycle-stamped machine events (interrupt
+	// delivery, idle advances, halts, budget expiry). The nil state is the
+	// disabled state: every emission site is a single pointer comparison.
+	rec *trace.Recorder
 
 	// Native-access memory guard (the kernel's isolation backstop for
 	// unpatched SP-relative accesses). Zero values disable it.
@@ -139,6 +145,14 @@ func (m *Machine) SetTrapHandler(h TrapHandler) {
 	}
 }
 
+// SetRecorder attaches (or, with nil, detaches) the trace recorder the
+// machine stamps events into. The kernel shares one recorder between the
+// machine and itself so the merged stream is globally cycle-ordered.
+func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
+
+// Recorder returns the attached trace recorder, or nil.
+func (m *Machine) Recorder() *trace.Recorder { return m.rec }
+
 // SetGuard arms the native-store guard: SP-relative and other unpatched SRAM
 // accesses outside [lo, hi) fault. The kernel re-arms this per context
 // switch.
@@ -163,7 +177,13 @@ func (m *Machine) IdleCycles() uint64 { return m.idle }
 func (m *Machine) AddCycles(n uint64) { m.cycle += n }
 
 // AddIdleCycles advances time by n cycles marked as idle (kernel idle loop).
-func (m *Machine) AddIdleCycles(n uint64) { m.cycle += n; m.idle += n }
+func (m *Machine) AddIdleCycles(n uint64) {
+	m.cycle += n
+	m.idle += n
+	if m.rec != nil && n > 0 {
+		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindIdle, Task: -1, Arg: n})
+	}
+}
 
 // Reg returns register r0..r31.
 func (m *Machine) Reg(i uint8) byte { return m.data[i&31] }
@@ -218,6 +238,9 @@ func (m *Machine) CopyData(dst, src, n uint16) {
 func (m *Machine) Halt(note string) {
 	if m.fault == nil {
 		m.fault = &Fault{Kind: FaultHalt, PC: m.pc, Note: note}
+		if m.rec != nil {
+			m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindHalt, Task: -1, Detail: note})
+		}
 	}
 }
 
@@ -260,6 +283,9 @@ func (m *Machine) Run(limit uint64) error {
 		if err := m.Step(); err != nil {
 			return err
 		}
+	}
+	if m.rec != nil {
+		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindBudget, Task: -1, Arg: limit})
 	}
 	return nil
 }
@@ -308,6 +334,9 @@ func (m *Machine) deliverInterrupt() {
 	m.data[addrSREG] &^= flagI
 	m.pc = vec
 	m.cycle += 4
+	if m.rec != nil {
+		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindInterrupt, Task: -1, Arg: uint64(vec)})
+	}
 }
 
 // advanceSleep fast-forwards the clock to the next device event.
@@ -317,8 +346,7 @@ func (m *Machine) advanceSleep() error {
 		return m.faultf(FaultDeadSleep, 0, "no device event scheduled")
 	}
 	if next > m.cycle {
-		m.idle += next - m.cycle
-		m.cycle = next
+		m.AddIdleCycles(next - m.cycle)
 	}
 	m.syncDevices()
 	return nil

@@ -1,0 +1,76 @@
+package mcu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMachineTraceEvents checks the machine-level emission sites: idle
+// advances, halts, and budget exhaustion all stamp typed events with the
+// post-advance cycle counter.
+func TestMachineTraceEvents(t *testing.T) {
+	m := load(t, `
+main:
+loop:
+    rjmp loop
+`)
+	rec := trace.New()
+	m.SetRecorder(rec)
+	if m.Recorder() != rec {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+
+	start := m.Cycles()
+	m.AddIdleCycles(100)
+	m.AddIdleCycles(0) // no-op advances must not emit
+	if err := m.Run(start + 150); err != nil {
+		t.Fatal(err)
+	}
+	m.Halt("test stop")
+	m.Halt("second halt is a no-op")
+
+	var idle, budget, halt int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindIdle:
+			idle++
+			if e.Arg != 100 || e.Task != -1 {
+				t.Errorf("idle event = %+v, want Arg=100 Task=-1", e)
+			}
+			if e.Cycle != start+100 {
+				t.Errorf("idle event stamped at %d, want post-advance %d", e.Cycle, start+100)
+			}
+		case trace.KindBudget:
+			budget++
+			if e.Arg != start+150 {
+				t.Errorf("budget event Arg = %d, want limit %d", e.Arg, start+150)
+			}
+		case trace.KindHalt:
+			halt++
+			if e.Detail != "test stop" {
+				t.Errorf("halt detail = %q, want first halt note", e.Detail)
+			}
+		}
+	}
+	if idle != 1 || budget != 1 || halt != 1 {
+		t.Errorf("got %d idle / %d budget / %d halt events, want 1 each", idle, budget, halt)
+	}
+}
+
+// TestMachineWithoutRecorderRuns guards the nil-recorder fast path: a
+// machine with tracing disabled must behave identically.
+func TestMachineWithoutRecorderRuns(t *testing.T) {
+	m := load(t, `
+main:
+    ldi r16, 5
+loop:
+    dec r16
+    brne loop
+    break
+`)
+	runUntilBreak(t, m, 1_000)
+	if m.Recorder() != nil {
+		t.Error("recorder attached without SetRecorder")
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ServiceMetrics aggregates one KTRAP service class.
+type ServiceMetrics struct {
+	// Class is the rewriter service class id; Name its display name.
+	Class int
+	Name  string
+	// Calls is how many traps dispatched to the service.
+	Calls uint64
+	// Cycles is the total cycles charged inside the service (the sum of
+	// the trap-window clock deltas, net of relocation/switch/idle charges).
+	Cycles uint64
+	// Overhead is the kernel-overhead portion of Cycles: what the service
+	// cost beyond the patched instructions' native execution.
+	Overhead uint64
+}
+
+// TaskMetrics aggregates one task's timeline.
+type TaskMetrics struct {
+	ID    int
+	Name  string
+	State string
+	// ExitReason is set for terminated tasks.
+	ExitReason string
+	// Switches counts times the task was scheduled in.
+	Switches int
+	// RunCycles is the wall-clock cycles the task held the CPU (including
+	// kernel service time spent on its behalf).
+	RunCycles uint64
+	// KernelCycles is the kernel-overhead portion of RunCycles.
+	KernelCycles uint64
+	// AppCycles is RunCycles minus KernelCycles: cycles doing the task's
+	// own work (native-equivalent instruction execution).
+	AppCycles uint64
+	// Utilization is RunCycles over the system's busy (non-idle) cycles.
+	Utilization float64
+	// Traps counts KTRAP services the task invoked, total and by service.
+	Traps     uint64
+	ByService []ServiceMetrics
+	// StackPeak is the stack high-water mark; StackAlloc the allocated
+	// stack bytes at snapshot time.
+	StackPeak  uint16
+	StackAlloc uint16
+	// Relocations counts stack relocations the task triggered.
+	Relocations int
+}
+
+// Metrics is the aggregation snapshot the kernel exports: per-task slice
+// utilization and overhead attribution, per-service trap counts and cycle
+// costs, and the system-wide kernel-vs-application cycle split.
+type Metrics struct {
+	// TotalCycles and IdleCycles mirror the machine clock.
+	TotalCycles uint64
+	IdleCycles  uint64
+	// KernelCycles is every cycle attributed to the kernel: service
+	// overheads, context switches, stack relocations/compaction, and boot.
+	KernelCycles uint64
+	// AppCycles is TotalCycles - IdleCycles - KernelCycles.
+	AppCycles uint64
+	// Component breakdown of KernelCycles.
+	ServiceOverheadCycles uint64
+	SwitchCycles          uint64
+	RelocCycles           uint64
+	BootCycles            uint64
+	// Scheduler counters.
+	ContextSwitches int
+	Preemptions     int
+	SliceChecks     uint64
+	BranchTraps     uint64
+	Relocations     int
+	RelocatedBytes  uint64
+	Terminations    int
+	// Services aggregates trap activity by service class, sorted by class.
+	Services []ServiceMetrics
+	// Tasks aggregates per-task metrics, sorted by task id.
+	Tasks []TaskMetrics
+	// Events/DroppedEvents describe the attached recorder, when tracing was
+	// enabled (both zero otherwise).
+	Events        int
+	DroppedEvents uint64
+}
+
+// OverheadRatio returns KernelCycles over busy (non-idle) cycles.
+func (m *Metrics) OverheadRatio() float64 {
+	busy := m.TotalCycles - m.IdleCycles
+	if busy == 0 {
+		return 0
+	}
+	return float64(m.KernelCycles) / float64(busy)
+}
+
+// Render formats the snapshot as aligned human-readable text.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	busy := m.TotalCycles - m.IdleCycles
+	fmt.Fprintf(&b, "metrics: %d cycles total, %d idle, %d busy\n", m.TotalCycles, m.IdleCycles, busy)
+	fmt.Fprintf(&b, "  kernel %d cycles (%.1f%% of busy): services %d, switches %d, relocation %d, boot %d\n",
+		m.KernelCycles, 100*m.OverheadRatio(),
+		m.ServiceOverheadCycles, m.SwitchCycles, m.RelocCycles, m.BootCycles)
+	fmt.Fprintf(&b, "  app %d cycles; switches=%d preemptions=%d slice-checks=%d branch-traps=%d relocations=%d (%dB) terminations=%d\n",
+		m.AppCycles, m.ContextSwitches, m.Preemptions, m.SliceChecks,
+		m.BranchTraps, m.Relocations, m.RelocatedBytes, m.Terminations)
+	if m.Events > 0 || m.DroppedEvents > 0 {
+		fmt.Fprintf(&b, "  trace: %d events recorded, %d dropped\n", m.Events, m.DroppedEvents)
+	}
+	if len(m.Services) > 0 {
+		fmt.Fprintf(&b, "  %-14s %10s %12s %12s\n", "service", "calls", "cycles", "overhead")
+		for _, s := range m.Services {
+			fmt.Fprintf(&b, "  %-14s %10d %12d %12d\n", s.Name, s.Calls, s.Cycles, s.Overhead)
+		}
+	}
+	for _, t := range m.Tasks {
+		status := t.State
+		if t.ExitReason != "" {
+			status += ": " + t.ExitReason
+		}
+		fmt.Fprintf(&b, "  task %-16s %-28s run=%d app=%d kernel=%d util=%.1f%% traps=%d stack peak=%dB alloc=%dB relocs=%d\n",
+			t.Name, status, t.RunCycles, t.AppCycles, t.KernelCycles,
+			100*t.Utilization, t.Traps, t.StackPeak, t.StackAlloc, t.Relocations)
+	}
+	return b.String()
+}
+
+// SortServices orders a service slice by class id (stable, deterministic
+// output for any map-built input).
+func SortServices(s []ServiceMetrics) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Class < s[j].Class })
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/minic"
 	"repro/internal/rewriter"
+	"repro/internal/trace"
 )
 
 // Core workflow types.
@@ -58,6 +59,14 @@ type (
 	// ExperimentRunner regenerates the paper's tables and figures with a
 	// configurable worker pool (see internal/experiment).
 	ExperimentRunner = experiment.Runner
+	// TraceRecorder collects typed cycle-stamped kernel/machine events
+	// (see internal/trace).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one cycle-stamped event of the recorded stream.
+	TraceEvent = trace.Event
+	// Metrics is the kernel's aggregation snapshot: per-task utilization,
+	// per-service trap costs, and the kernel-vs-application cycle split.
+	Metrics = trace.Metrics
 )
 
 // NewSystem creates a fresh simulated node with an attached SenSmart
@@ -69,6 +78,14 @@ func WithKernelConfig(cfg KernelConfig) Option { return core.WithKernelConfig(cf
 
 // WithRewriterConfig overrides the rewriter configuration.
 func WithRewriterConfig(cfg RewriterConfig) Option { return core.WithRewriterConfig(cfg) }
+
+// WithTrace attaches a trace recorder to the system being built; the kernel
+// and machine stamp typed cycle events into it. Export the stream with
+// System.WriteTrace or inspect it with NewTraceRecorder().Events().
+func WithTrace(r *TraceRecorder) Option { return core.WithTrace(r) }
+
+// NewTraceRecorder returns an empty unbounded trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
 
 // Assemble compiles AVR assembly source into a program image.
 func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
