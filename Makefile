@@ -4,8 +4,11 @@
 #                       race-enabled tests (incl. the trace-driven kernel
 #                       suite), coverage floors, and a short differential fuzz
 #   make test           race-enabled test suite only
-#   make cover          enforce statement-coverage floors on kernel and mcu
+#   make cover          enforce statement-coverage floors on kernel, mcu,
+#                       and the profiler
 #   make fuzz           10s differential fuzz campaign
+#   make bench          run the seven benchmarks profiled vs unprofiled and
+#                       regenerate BENCH_profile.json
 #   make bench-parallel regenerate BENCH_parallel.json
 
 GO ?= go
@@ -14,10 +17,13 @@ FUZZTIME ?= 10s
 # Statement-coverage floors for the cycle-accounting core. Measured 83.1%
 # (kernel) and 75.8% (mcu) when introduced; floors sit a few points below so
 # incidental drift doesn't break CI, while gutting the trace/cost suites does.
+# The profiler floor is the ISSUE-mandated 75% (measured 93.6% when
+# introduced).
 KERNEL_COVER_FLOOR = 78
 MCU_COVER_FLOOR = 70
+PROFILE_COVER_FLOOR = 75
 
-.PHONY: ci build vet test cover fmt-check fuzz bench-parallel
+.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel
 
 ci: fmt-check vet build test cover fuzz
 
@@ -37,7 +43,8 @@ cover:
 			|| { echo "$$1 coverage $$pct% fell below the $$2% floor"; exit 1; }; \
 	}; \
 	check ./internal/kernel $(KERNEL_COVER_FLOOR); \
-	check ./internal/mcu $(MCU_COVER_FLOOR)
+	check ./internal/mcu $(MCU_COVER_FLOOR); \
+	check ./internal/profile $(PROFILE_COVER_FLOOR)
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +56,9 @@ fmt-check:
 
 fuzz:
 	$(GO) test ./internal/experiment -run '^FuzzDifferential$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) run ./cmd/sensmart-bench -exp profilebench -out BENCH_profile.json
 
 bench-parallel:
 	$(GO) run ./cmd/sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json

@@ -9,6 +9,9 @@
 //	sensmart-bench -exp fig7 -budget 80000000
 //	sensmart-bench -exp fig5 -parallel 4
 //	sensmart-bench -exp overhead -trace overhead.json -metrics
+//	sensmart-bench -exp hotspots -top 5
+//	sensmart-bench -exp hotspots -profile hotspots.pb.gz -folded hotspots.folded
+//	sensmart-bench -exp profilebench -out BENCH_profile.json
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 //
 // Sweeps fan out to -parallel workers (default GOMAXPROCS); each sweep
@@ -21,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -41,11 +45,15 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|benchparallel|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
-	out := fs.String("out", "BENCH_parallel.json", "output path for -exp benchparallel")
+	out := fs.String("out", "", "output path for -exp benchparallel (default BENCH_parallel.json) and -exp profilebench (default BENCH_profile.json)")
+	topK := fs.Int("top", 5, "with -exp hotspots: frames to report per benchmark")
+	profileOut := fs.String("profile", "", "with -exp hotspots: run the seven benchmarks as one profiled multitask workload and write a gzipped pprof profile.proto here")
+	foldedOut := fs.String("folded", "", "with -exp hotspots: like -profile, but folded stacks for speedscope / flamegraph.pl")
+	reps := fs.Int("reps", 3, "with -exp profilebench: timing repetitions (best-of)")
 	traceOut := fs.String("trace", "", "with -exp overhead: run all seven kernel benchmarks as one traced multitask workload and write Chrome trace_event JSON here (load in ui.perfetto.dev)")
 	metrics := fs.Bool("metrics", false, "with -exp overhead: print the traced multitask workload's kernel metrics snapshot")
 	if err := fs.Parse(args); err != nil {
@@ -148,26 +156,92 @@ func run(args []string) error {
 			}
 			return nil
 		},
-		"benchparallel": func() error {
-			b, err := experiment.BenchParallel(*parallel, *activations)
+		"hotspots": func() error {
+			t, err := r.Hotspots(*topK)
 			if err != nil {
 				return err
+			}
+			fmt.Print(t.Render())
+			if *profileOut == "" && *foldedOut == "" {
+				return nil
+			}
+			// One profiled multitask run of all seven benchmarks backs the
+			// pprof and folded exports.
+			var programs []*image.Program
+			for _, b := range progs.KernelBenchmarks() {
+				programs = append(programs, b.Program.Clone())
+			}
+			prof, err := experiment.ProfileRun(4_000_000_000, programs...)
+			if err != nil {
+				return err
+			}
+			write := func(path, what string, emit func(w io.Writer) error) error {
+				if path == "" {
+					return nil
+				}
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				werr := emit(f)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return werr
+				}
+				fmt.Printf("profile: %s written to %s\n", what, path)
+				return nil
+			}
+			if err := write(*profileOut, "pprof protobuf", prof.WritePprof); err != nil {
+				return err
+			}
+			return write(*foldedOut, "folded stacks", prof.WriteFolded)
+		},
+		"profilebench": func() error {
+			b, err := experiment.BenchProfile(*reps)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_profile.json"
 			}
 			data, err := json.MarshalIndent(b, "", "  ")
 			if err != nil {
 				return err
 			}
 			data = append(data, '\n')
-			if err := os.WriteFile(*out, data, 0o644); err != nil {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n%s", *out, data)
+			fmt.Printf("wrote %s\n%s", path, data)
+			return nil
+		},
+		"benchparallel": func() error {
+			b, err := experiment.BenchParallel(*parallel, *activations)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_parallel.json"
+			}
+			data, err := json.MarshalIndent(b, "", "  ")
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n%s", path, data)
 			return nil
 		},
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "overhead"} {
+		for _, name := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "overhead", "hotspots"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats]
-//	             [-trace out.json] [-metrics] file.{s,json}...
+//	             [-trace out.json] [-metrics]
+//	             [-profile out.pb.gz] [-folded out.folded] [-stackrec out.csv]
+//	             [-watch addr[:len][:r|w|rw]]... file.{s,json}...
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/minic"
+	"repro/internal/profile"
 	"repro/internal/trace"
 )
 
@@ -41,9 +44,23 @@ func run(args []string) error {
 	verbose := fs.Bool("v", false, "trace kernel events")
 	traceOut := fs.String("trace", "", "record a cycle trace and write Chrome trace_event JSON to this file (load in chrome://tracing or ui.perfetto.dev)")
 	metrics := fs.Bool("metrics", false, "print the kernel metrics snapshot (per-task utilization, per-service costs, kernel-vs-app cycles)")
+	profileOut := fs.String("profile", "", "attach the cycle-exact profiler and write a gzipped pprof profile.proto here (go tool pprof <file>)")
+	foldedOut := fs.String("folded", "", "attach the profiler and write folded stacks here (speedscope / flamegraph.pl)")
+	stackrecOut := fs.String("stackrec", "", "attach the profiler and write the per-task stack-depth flight recorder CSV here")
+	stackEvery := fs.Uint64("stackevery", 1024, "stack flight recorder sampling interval in cycles (with -stackrec)")
+	var watches []profile.Watchpoint
+	fs.Func("watch", "watch a task-logical address: addr[:len][:r|w|rw] (repeatable)", func(s string) error {
+		wp, err := profile.ParseWatch(s)
+		if err != nil {
+			return err
+		}
+		watches = append(watches, wp)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	profiling := *profileOut != "" || *foldedOut != "" || *stackrecOut != "" || len(watches) > 0
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: sensmart-sim [flags] file.{s,json}...")
 	}
@@ -60,6 +77,9 @@ func run(args []string) error {
 		if len(programs) != 1 || *copies != 1 {
 			return errors.New("-native runs exactly one program")
 		}
+		if profiling {
+			return errors.New("-profile/-folded/-stackrec/-watch need the kernel's symbolizer; drop -native")
+		}
 		return runNative(programs[0], *cycles, *uart)
 	}
 
@@ -72,6 +92,18 @@ func run(args []string) error {
 	opts := []core.Option{core.WithKernelConfig(cfg)}
 	if *traceOut != "" {
 		opts = append(opts, core.WithTrace(trace.New()))
+	}
+	var prof *profile.Profiler
+	if profiling {
+		po := profile.Options{}
+		if *stackrecOut != "" {
+			po.StackInterval = *stackEvery
+		}
+		prof = profile.New(po)
+		for _, wp := range watches {
+			prof.AddWatch(wp)
+		}
+		opts = append(opts, core.WithProfile(prof))
 	}
 	sys := core.NewSystem(opts...)
 	for _, p := range programs {
@@ -126,10 +158,79 @@ func run(args []string) error {
 		}
 		fmt.Printf("trace: %d events written to %s\n", sys.Trace().Len(), *traceOut)
 	}
+	if prof != nil {
+		if err := writeProfileOutputs(sys, prof, *profileOut, *foldedOut, *stackrecOut); err != nil {
+			return err
+		}
+		if len(watches) > 0 {
+			reportWatchHits(prof)
+		}
+	}
 	if *uart {
 		fmt.Printf("uart: %q\n", m.UARTOutput())
 	}
 	return nil
+}
+
+// writeProfileOutputs exports the requested profiler artifacts.
+func writeProfileOutputs(sys *core.System, prof *profile.Profiler, pprofOut, foldedOut, stackrecOut string) error {
+	write := func(path, format, what string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := sys.WriteProfile(f, format)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("profile: %s written to %s\n", what, path)
+		return nil
+	}
+	if err := write(pprofOut, "pprof", "pprof protobuf"); err != nil {
+		return err
+	}
+	if err := write(foldedOut, "folded", "folded stacks"); err != nil {
+		return err
+	}
+	if stackrecOut != "" {
+		f, err := os.Create(stackrecOut)
+		if err != nil {
+			return err
+		}
+		werr := prof.WriteStackTimeline(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("profile: stack flight recorder written to %s\n", stackrecOut)
+	}
+	return nil
+}
+
+// reportWatchHits prints recorded watchpoint hits with task + symbol context.
+func reportWatchHits(prof *profile.Profiler) {
+	hits := prof.WatchHits()
+	fmt.Printf("watch: %d hit(s)\n", len(hits))
+	for _, h := range hits {
+		op := "read"
+		if h.Write {
+			op = "write"
+		}
+		fmt.Printf("  cycle %-12d task %-20s %-5s %#04x at pc %#x in %s\n",
+			h.Cycle, prof.TaskName(h.Task), op, h.Addr, h.PC,
+			prof.Symbolizer().Name(h.PC))
+	}
+	if d := prof.DroppedWatchHits(); d > 0 {
+		fmt.Printf("  (%d further hit(s) dropped; raise the watch-hit cap)\n", d)
+	}
 }
 
 func runNative(prog *image.Program, limit uint64, uart bool) error {

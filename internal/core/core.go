@@ -15,6 +15,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/minic"
+	"repro/internal/profile"
 	"repro/internal/rewriter"
 	"repro/internal/trace"
 )
@@ -53,6 +54,19 @@ func (o traceOption) apply(opts *options) { opts.kernelCfg.Trace = o.r }
 // cycle events into it as the system runs. Compose with WithKernelConfig by
 // passing WithTrace after it (options apply in order).
 func WithTrace(r *trace.Recorder) Option { return traceOption{r} }
+
+type profileOption struct{ p *profile.Profiler }
+
+func (o profileOption) apply(opts *options) { opts.kernelCfg.Profile = o.p }
+
+// WithProfile attaches a cycle-exact profiler: every simulated cycle is
+// attributed to (task, symbol, PC), kernel service overhead lands on
+// synthetic kernel.<service> frames, and the profiler's stack flight
+// recorder and watchpoints become active. With no profiler attached the
+// per-instruction hook stays nil and costs one pointer compare. Compose
+// with WithKernelConfig by passing WithProfile after it (options apply in
+// order).
+func WithProfile(p *profile.Profiler) Option { return profileOption{p} }
 
 // System is one node plus its build pipeline. Typical use:
 //
@@ -162,6 +176,30 @@ func (s *System) WriteTrace(w io.Writer) error {
 		ClockHz:     mcu.ClockHz,
 		ServiceName: kernel.ServiceName,
 	})
+}
+
+// Profile returns the attached profiler, or nil when profiling is off.
+func (s *System) Profile() *profile.Profiler { return s.kernel.Cfg.Profile }
+
+// WriteProfile exports the attached profiler in the named format: "pprof"
+// (gzipped profile.proto for go tool pprof), "folded" (folded stacks for
+// speedscope / flamegraph.pl), or "csv" (flat per-frame table). It fails
+// when no profiler is attached.
+func (s *System) WriteProfile(w io.Writer, format string) error {
+	p := s.Profile()
+	if p == nil {
+		return errors.New("core: no profiler attached; use WithProfile")
+	}
+	switch format {
+	case "pprof":
+		return p.WritePprof(w)
+	case "folded":
+		return p.WriteFolded(w)
+	case "csv":
+		return p.WriteCSV(w)
+	default:
+		return fmt.Errorf("core: unknown profile format %q (want pprof, folded, or csv)", format)
+	}
 }
 
 // ErrNoSymbol is returned when a heap symbol lookup fails.

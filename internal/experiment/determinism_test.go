@@ -62,6 +62,57 @@ func TestTraceStreamsAreByteIdentical(t *testing.T) {
 	}
 }
 
+// TestProfileExportsAreByteIdentical runs the same profiled workload twice
+// and requires the pprof and folded exports to match byte for byte. The
+// pprof writer interns strings and ids in flatten order and emits a
+// zero-timestamp gzip header, so any divergence is real nondeterminism in
+// the attribution path.
+func TestProfileExportsAreByteIdentical(t *testing.T) {
+	export := func() ([]byte, []byte) {
+		t.Helper()
+		prof, err := ProfileRun(4_000_000_000, tracedWorkload(t)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pb, folded bytes.Buffer
+		if err := prof.WritePprof(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if err := prof.WriteFolded(&folded); err != nil {
+			t.Fatal(err)
+		}
+		return pb.Bytes(), folded.Bytes()
+	}
+	pb1, folded1 := export()
+	pb2, folded2 := export()
+	if len(pb1) == 0 || len(folded1) == 0 {
+		t.Fatal("empty profile export")
+	}
+	if !bytes.Equal(pb1, pb2) {
+		t.Fatalf("pprof exports differ between identical runs (%d vs %d bytes)", len(pb1), len(pb2))
+	}
+	if !bytes.Equal(folded1, folded2) {
+		t.Fatalf("folded exports differ between identical runs:\n--- a ---\n%s--- b ---\n%s", folded1, folded2)
+	}
+}
+
+// TestHotspotsParallelMatchesSerial reruns the hotspots experiment with the
+// worker pool on and off: profiled runs must keep the engine's guarantee
+// that results merge in sweep order with byte-identical rendered output.
+func TestHotspotsParallelMatchesSerial(t *testing.T) {
+	serial, err := Runner{Concurrency: 1}.Hotspots(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Concurrency: 4}.Hotspots(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Errorf("serial and parallel hotspot tables differ:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
 // TestKernelOverheadParallelMatchesSerial reruns the kernel-overhead
 // experiment with the worker pool on and off: tracing must not break the
 // harness guarantee that results merge in sweep order with byte-identical

@@ -32,7 +32,7 @@ func (r Runner) KernelOverhead() (*Table, error) {
 		if err != nil {
 			return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
 		}
-		if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats); err != nil {
+		if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats, run.K.Symbolizer().Name); err != nil {
 			return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
 		}
 		return overheadPoint{name: benches[i].Name, metrics: run.K.Metrics()}, nil
@@ -83,7 +83,7 @@ func TraceRun(limit uint64, programs ...*image.Program) (*trace.Recorder, *trace
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats); err != nil {
+	if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats, run.K.Symbolizer().Name); err != nil {
 		return nil, nil, err
 	}
 	return rec, run.K.Metrics(), nil
@@ -94,9 +94,18 @@ func TraceRun(limit uint64, programs ...*image.Program) (*trace.Recorder, *trace
 // deltas minus the relocation/compaction/switch/idle cycles recorded inside
 // those windows must equal the cycles the kernel's ledger says it charged
 // for that class (Stats.ServiceCycles). Any drift between the trace layer
-// and the cost model in cost.go fails here.
-func ReconcileTrapCycles(events []trace.Event, stats *kernel.Stats) error {
+// and the cost model in cost.go fails here. sym resolves a flash word
+// address to a human-readable site (nil falls back to raw addresses), so a
+// failure names the offending trap site, not just a number.
+func ReconcileTrapCycles(events []trace.Event, stats *kernel.Stats, sym func(pc uint32) string) error {
+	site := func(pc uint32) string {
+		if sym == nil {
+			return fmt.Sprintf("pc %#x", pc)
+		}
+		return fmt.Sprintf("pc %#x in %s", pc, sym(pc))
+	}
 	var window [16]uint64 // per-class: sum of (exit - enter) - nested non-service charges
+	var sites [16]map[uint32]uint64
 	var open = map[int32]trace.Event{}
 	var nested = map[int32]uint64{}
 	for _, e := range events {
@@ -107,16 +116,22 @@ func ReconcileTrapCycles(events []trace.Event, stats *kernel.Stats) error {
 		case trace.KindTrapExit:
 			enter, ok := open[e.Task]
 			if !ok {
-				return fmt.Errorf("trace: trap exit without enter for task %d at cycle %d", e.Task, e.Cycle)
+				return fmt.Errorf("trace: trap exit without enter for task %d at cycle %d (%s)",
+					e.Task, e.Cycle, site(e.PC))
 			}
 			delete(open, e.Task)
 			delta := e.Cycle - enter.Cycle
 			sub := nested[e.Task]
 			if sub > delta {
-				return fmt.Errorf("trace: nested charges %d exceed trap window %d (task %d, cycle %d)",
-					sub, delta, e.Task, e.Cycle)
+				return fmt.Errorf("trace: nested charges %d exceed trap window %d (task %d, cycle %d, %s)",
+					sub, delta, e.Task, e.Cycle, site(enter.PC))
 			}
-			window[e.Arg&15] += delta - sub
+			class := e.Arg & 15
+			window[class] += delta - sub
+			if sites[class] == nil {
+				sites[class] = map[uint32]uint64{}
+			}
+			sites[class][enter.PC] += delta - sub
 		case trace.KindReloc, trace.KindRelease, trace.KindSwitch:
 			// A service that relocates, compacts, or schedules mid-trap books
 			// those cycles on the nested event, not on the service.
@@ -131,8 +146,14 @@ func ReconcileTrapCycles(events []trace.Event, stats *kernel.Stats) error {
 	}
 	for class := 1; class < 16; class++ {
 		if got, want := window[class], stats.ServiceCycles[class]; got != want {
-			return fmt.Errorf("trace: class %v trap windows sum to %d cycles, ledger charged %d",
-				rewriter.Class(class), got, want)
+			hotPC, hot := uint32(0), uint64(0)
+			for pc, c := range sites[class] {
+				if c > hot || (c == hot && pc < hotPC) {
+					hotPC, hot = pc, c
+				}
+			}
+			return fmt.Errorf("trace: class %v trap windows sum to %d cycles, ledger charged %d (hottest trap site: %s, %d cycles)",
+				rewriter.Class(class), got, want, site(hotPC), hot)
 		}
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/mcu"
+	"repro/internal/profile"
 	"repro/internal/rewriter"
 	"repro/internal/trace"
 )
@@ -56,6 +57,11 @@ type Config struct {
 	// OnTaskExit, when set, runs as a task terminates, before its memory
 	// region is released — the harness's chance to snapshot task heap state.
 	OnTaskExit func(k *Kernel, t *Task)
+	// Profile, when set, receives cycle-exact attribution of every simulated
+	// cycle to (task, symbol) buckets, plus stack-depth samples and
+	// watchpoint hits. nil disables profiling: every MCU and kernel hook
+	// site is a single pointer comparison, like Trace.
+	Profile *profile.Profiler
 }
 
 func (c *Config) setDefaults() {
@@ -139,6 +145,13 @@ type Kernel struct {
 	appBase  uint16
 	appEnd   uint16
 
+	// sym maps flash addresses back to function symbols; it is always
+	// built (loadProgram registers every image) so fault diagnostics and
+	// trap-cycle reconciliation stay symbolized even without a profiler.
+	sym *profile.Symbolizer
+	// prof mirrors Cfg.Profile; nil disables every attribution site.
+	prof *profile.Profiler
+
 	Stats Stats
 }
 
@@ -162,6 +175,8 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 		flashTop: 16, // leave the vector area clear
 		appBase:  appBase,
 		appEnd:   appEnd,
+		sym:      profile.NewSymbolizer(),
+		prof:     cfg.Profile,
 		Stats:    Stats{ServiceCalls: make(map[rewriter.Class]uint64)},
 	}
 	m.SetTrapHandler(k.handleTrap)
@@ -170,7 +185,53 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 		// interleave with kernel events in global cycle order.
 		m.SetRecorder(cfg.Trace)
 	}
+	if k.prof != nil {
+		k.prof.Bind(k.sym, cfg.Trace, mcu.ClockHz)
+		m.SetProfileHooks(mcu.ProfileHooks{
+			Instr:     k.prof.OnInstr,
+			Idle:      k.prof.OnIdle,
+			Interrupt: k.prof.OnInterrupt,
+		})
+		// Native accesses (push/pop and unpatched loads/stores) carry
+		// physical addresses; translate through the running task's region
+		// before matching watchpoints, which are logical.
+		m.SetMemWatch(func(pc uint32, addr uint16, write bool) {
+			if len(k.prof.Watches()) == 0 {
+				return
+			}
+			logical := k.physToLogical(addr)
+			if k.prof.Watching(logical, write) {
+				task := int32(-1)
+				if t := k.Current(); t != nil {
+					task = int32(t.ID)
+				}
+				k.prof.Watch(k.M.Cycles(), task, pc, logical, write)
+			}
+		})
+	}
 	return k
+}
+
+// Symbolizer exposes the kernel's flash-address symbolizer so harnesses can
+// render PCs as function names (fault reports, reconciliation errors).
+func (k *Kernel) Symbolizer() *profile.Symbolizer { return k.sym }
+
+// physToLogical inverts the running task's address translation for a
+// physical SRAM address; addresses outside the task's region (or with no
+// running task) pass through unchanged.
+func (k *Kernel) physToLogical(phys uint16) uint16 {
+	t := k.Current()
+	if t == nil {
+		return phys
+	}
+	if phys >= t.pl && phys < t.ph {
+		return 0x100 + (phys - t.pl)
+	}
+	if phys >= t.ph && phys < t.pu {
+		stackSize := t.pu - t.ph
+		return phys - t.ph + (logicalSPBase - stackSize)
+	}
+	return phys
 }
 
 func (k *Kernel) logf(format string, args ...any) {
@@ -248,6 +309,7 @@ func (k *Kernel) loadProgram(nat *rewriter.Naturalized) (*loadedProg, error) {
 		return nil, err
 	}
 	k.flashTop = base + uint32(len(words))
+	k.sym.AddImage(nat.Program.Name, base, nat.Program, nat.CodeWords, nat.TrampolineWords)
 	k.ev(trace.Event{Kind: trace.KindProgLoad, Task: -1, Arg: uint64(base),
 		Arg2: uint64(len(words)), Detail: nat.Program.Name})
 	return lp, nil
@@ -298,6 +360,9 @@ func (k *Kernel) AddTask(name string, nat *rewriter.Naturalized) (*Task, error) 
 		// will pick the task up at the next scheduling point.
 		k.initTaskHeap(t)
 	}
+	if k.prof != nil {
+		k.prof.RegisterTask(int32(t.ID), name, t.pl, t.ph, t.pu)
+	}
 	k.ev(trace.Event{Kind: trace.KindTaskSpawn, Task: int32(t.ID), Arg: uint64(t.pl),
 		Arg2: uint64(size), Detail: name})
 	return t, nil
@@ -337,6 +402,9 @@ func (k *Kernel) Boot() error {
 	k.booted = true
 	k.M.AddCycles(CostSysInit)
 	k.Stats.BootCycles += CostSysInit
+	if k.prof != nil {
+		k.prof.OnBoot(CostSysInit)
+	}
 	for _, t := range k.Tasks {
 		k.initTaskHeap(t)
 	}
@@ -405,9 +473,10 @@ func (k *Kernel) Run(limit uint64) error {
 			m.ClearFault()
 			if k.Cfg.Trace != nil {
 				k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindMemFault,
-					Task: int32(t.ID), Arg: uint64(f.Addr)})
+					Task: int32(t.ID), Arg: uint64(f.Addr), PC: f.PC, Detail: k.sym.Name(f.PC)})
 			}
-			k.terminate(t, fmt.Sprintf("memory isolation violation at %#x", f.Addr))
+			k.terminate(t, fmt.Sprintf("memory isolation violation at %#x (pc %#x in %s)",
+				f.Addr, f.PC, k.sym.Name(f.PC)))
 			if k.Done() {
 				return nil
 			}
@@ -458,6 +527,9 @@ func (k *Kernel) restore(t *Task, contPC uint32) {
 	}
 	t.sliceStart = m.Cycles()
 	t.runStart = t.sliceStart
+	if k.prof != nil {
+		k.prof.SetContext(int32(t.ID), t.pl, t.ph, t.pu)
+	}
 }
 
 // accrueRun credits the running task's wall-clock cycles up to now. Called
@@ -509,6 +581,9 @@ func (k *Kernel) schedule(contPC uint32) {
 	k.M.AddCycles(CostFullSwitch)
 	k.Stats.ContextSwitches++
 	k.Stats.SwitchCycles += CostFullSwitch
+	if k.prof != nil {
+		k.prof.OnSwitch(CostFullSwitch)
+	}
 	k.restore(next, 0)
 	if k.Cfg.Trace != nil {
 		prev := uint64(0)
@@ -583,6 +658,9 @@ func (k *Kernel) terminate(t *Task, reason string) {
 	size := t.pu - t.pl
 	relocBefore := k.Stats.RelocCycles
 	k.releaseRegion(t)
+	if k.prof != nil {
+		k.prof.OnCompact(k.Stats.RelocCycles - relocBefore)
+	}
 	if k.Cfg.Trace != nil && size > 0 {
 		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindRelease,
 			Task: int32(t.ID), Arg: uint64(size), Arg2: k.Stats.RelocCycles - relocBefore})

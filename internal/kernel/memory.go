@@ -149,6 +149,11 @@ func (k *Kernel) growStack(t *Task, need uint16) bool {
 	k.syncAfterMove()
 	relocCost := k.Stats.RelocCycles - relocBefore
 	t.KernelCycles += relocCost
+	if k.prof != nil {
+		// The machine PC still points at the access that triggered the
+		// growth (trap site or faulted push).
+		k.prof.OnReloc(int32(t.ID), k.M.PC(), uint64(granted), relocCost)
+	}
 	k.ev(trace.Event{Kind: trace.KindReloc, Task: int32(t.ID),
 		Arg: uint64(granted), Arg2: relocCost, Detail: donor})
 	return true
@@ -220,6 +225,9 @@ func (k *Kernel) shiftDownInto(m, dn int, delta uint16) {
 func (k *Kernel) syncAfterMove() {
 	for _, r := range k.regions {
 		r.spShadow = r.logicalSP()
+		if k.prof != nil {
+			k.prof.UpdateRegion(int32(r.ID), r.pl, r.ph, r.pu)
+		}
 	}
 	if cur := k.Current(); cur != nil {
 		k.M.SetSP(cur.spPhys)
@@ -252,11 +260,13 @@ func (k *Kernel) releaseRegion(t *Task) {
 // a task's memory region are intercepted and treated as invalid
 // instructions", Section IV-C2).
 func (k *Kernel) faultTask(t *Task, logical uint16) {
+	pc := k.M.PC() // services fault before setting the continuation PC
 	if k.Cfg.Trace != nil {
 		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindMemFault,
-			Task: int32(t.ID), Arg: uint64(logical)})
+			Task: int32(t.ID), Arg: uint64(logical), PC: pc, Detail: k.sym.Name(pc)})
 	}
-	k.terminate(t, fmt.Sprintf("invalid logical address %#x", logical))
+	k.terminate(t, fmt.Sprintf("invalid logical address %#x at pc %#x in %s",
+		logical, pc, k.sym.Name(pc)))
 }
 
 func max16(a, b uint16) uint16 {

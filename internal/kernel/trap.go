@@ -37,13 +37,14 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 	t.noteStackUse()
 
 	r := k.Cfg.Trace
+	site := m.PC()
 	if r != nil {
 		back := uint64(0)
 		if p.Class == rewriter.ClassBranch && p.Backward {
 			back = 1
 		}
 		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapEnter,
-			Task: int32(t.ID), Arg: uint64(p.Class), Arg2: back})
+			Task: int32(t.ID), Arg: uint64(p.Class), Arg2: back, PC: site})
 	}
 	before := k.Stats.ServiceCycles[p.Class]
 	err := k.dispatch(t, p, base)
@@ -53,7 +54,7 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		// enter-to-exit clock delta decomposes exactly (see trace_cost_test).
 		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapExit,
 			Task: int32(t.ID), Arg: uint64(p.Class),
-			Arg2: k.Stats.ServiceCycles[p.Class] - before})
+			Arg2: k.Stats.ServiceCycles[p.Class] - before, PC: site})
 	}
 	return err
 }
@@ -90,6 +91,7 @@ func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
 	case rewriter.ClassDirectIO:
 		k.charge(t, p.Class, CostDirectIO, p.Orig)
 		addr := uint16(p.Orig.Imm)
+		k.watchCheck(t, addr, p.Orig.Op != avr.OpLds)
 		if p.Orig.Op == avr.OpLds {
 			m.SetReg(p.Orig.Dst, m.ReadBus(addr))
 		} else {
@@ -98,6 +100,7 @@ func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassReservedIO:
 		k.charge(t, p.Class, CostReservedIO, p.Orig)
+		k.watchCheck(t, uint16(p.Orig.Imm), p.Orig.Op != avr.OpLds)
 		k.serviceReservedIO(t, p.Orig)
 		m.SetPC(base + p.NatNext)
 	case rewriter.ClassDirectMem:
@@ -154,12 +157,19 @@ func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
 // task, attributing kernel time to who caused it.
 func (k *Kernel) charge(t *Task, class rewriter.Class, overhead int, orig avr.Inst) {
 	total := orig.Op.BaseCycles() + overhead - 1
+	charged := uint64(0)
 	if total > 0 {
-		k.M.AddCycles(uint64(total))
-		k.Stats.ServiceCycles[class] += uint64(total)
+		charged = uint64(total)
+		k.M.AddCycles(charged)
+		k.Stats.ServiceCycles[class] += charged
 	}
 	k.Stats.ServiceOverhead[class] += uint64(overhead)
 	t.KernelCycles += uint64(overhead)
+	if k.prof != nil {
+		// Charges happen before the service sets the continuation PC, so
+		// the machine PC is still the trap site.
+		k.prof.OnService(int32(t.ID), class, k.M.PC(), uint64(overhead), charged)
+	}
 }
 
 // chargeExtra accounts additional native cycles inside a service (e.g. the
@@ -186,6 +196,9 @@ func (k *Kernel) serviceBranch(t *Task, p *rewriter.Patch, base uint32) {
 	if taken {
 		next = base + p.NatTarget
 		k.chargeExtra(p.Class, 1) // branch-taken penalty, as on hardware
+		if k.prof != nil {
+			k.prof.OnAppExtra(int32(t.ID), m.PC(), 1)
+		}
 	}
 	if p.Backward {
 		k.Stats.BranchTraps++
@@ -227,9 +240,20 @@ func (k *Kernel) ensureStack(t *Task, need uint16) bool {
 	return false
 }
 
+// watchCheck reports a kernel-mediated data access against the armed
+// watchpoints (logical addressing). With no profiler — or no watchpoints —
+// the cost is one pointer comparison plus an empty-slice check.
+func (k *Kernel) watchCheck(t *Task, logical uint16, write bool) {
+	if k.prof == nil || !k.prof.Watching(logical, write) {
+		return
+	}
+	k.prof.Watch(k.M.Cycles(), int32(t.ID), k.M.PC(), logical, write)
+}
+
 // serviceDirectMem executes a translated LDS/STS to the heap (or stack) and
 // reports whether the task survived.
 func (k *Kernel) serviceDirectMem(t *Task, in avr.Inst) bool {
+	k.watchCheck(t, uint16(in.Imm), in.Op != avr.OpLds)
 	phys, kind := t.translate(uint16(in.Imm))
 	if kind != accessHeap && kind != accessStack {
 		k.faultTask(t, uint16(in.Imm))
@@ -270,6 +294,7 @@ func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 		default:
 			logical = v
 		}
+		k.watchCheck(t, logical, !in.IsLoad())
 		phys, kind := t.translate(logical)
 		if kind == accessInvalid {
 			k.accountIndirect(t, cycles+1, sumBase)
@@ -324,13 +349,20 @@ func (k *Kernel) serviceIndirectMem(t *Task, p *rewriter.Patch) bool {
 // books the overhead: the in-window charge plus the already-spent KTRAP fetch
 // cycle, minus what the unpatched accesses would have cost natively.
 func (k *Kernel) accountIndirect(t *Task, total, sumBase int) {
+	charged := uint64(0)
 	if total > 0 {
-		k.M.AddCycles(uint64(total))
-		k.Stats.ServiceCycles[rewriter.ClassIndirectMem] += uint64(total)
+		charged = uint64(total)
+		k.M.AddCycles(charged)
+		k.Stats.ServiceCycles[rewriter.ClassIndirectMem] += charged
 	}
+	overhead := uint64(0)
 	if over := total + 1 - sumBase; over > 0 {
-		k.Stats.ServiceOverhead[rewriter.ClassIndirectMem] += uint64(over)
-		t.KernelCycles += uint64(over)
+		overhead = uint64(over)
+		k.Stats.ServiceOverhead[rewriter.ClassIndirectMem] += overhead
+		t.KernelCycles += overhead
+	}
+	if k.prof != nil {
+		k.prof.OnService(int32(t.ID), rewriter.ClassIndirectMem, k.M.PC(), overhead, charged)
 	}
 }
 

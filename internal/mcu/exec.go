@@ -408,6 +408,9 @@ func (m *Machine) loadByte(addr uint16) (byte, error) {
 	if m.guardOn && (addr < m.guardLo || addr >= m.guardHi) {
 		return 0, m.faultf(FaultMemGuard, addr, "native load outside task region")
 	}
+	if m.memWatch != nil {
+		m.memWatch(m.pc, addr, false)
+	}
 	return m.data[addr], nil
 }
 
@@ -421,6 +424,9 @@ func (m *Machine) storeByte(addr uint16, v byte) error {
 	if m.guardOn && (addr < m.guardLo || addr >= m.guardHi) {
 		return m.faultf(FaultMemGuard, addr, "native store outside task region")
 	}
+	if m.memWatch != nil {
+		m.memWatch(m.pc, addr, true)
+	}
 	m.data[addr] = v
 	return nil
 }
@@ -431,6 +437,9 @@ func (m *Machine) pushByte(b byte) {
 	if m.guardOn && (sp < m.guardLo || sp >= m.guardHi) {
 		m.faultf(FaultStackOverflow, sp, "push outside task region")
 		return
+	}
+	if m.memWatch != nil {
+		m.memWatch(m.pc, sp, true)
 	}
 	m.data[sp%DataSize] = b
 	m.SetSP(sp - 1)
@@ -443,6 +452,9 @@ func (m *Machine) popByte() byte {
 	if m.guardOn && (sp < m.guardLo || sp >= m.guardHi) {
 		m.faultf(FaultStackOverflow, sp, "pop outside task region")
 		return 0
+	}
+	if m.memWatch != nil {
+		m.memWatch(m.pc, sp, false)
 	}
 	return m.data[sp%DataSize]
 }

@@ -79,6 +79,21 @@ type Machine struct {
 	// disabled state: every emission site is a single pointer comparison.
 	rec *trace.Recorder
 
+	// Profiler hooks (internal/profile), nil-disabled like rec: with no
+	// profiler attached every site is one pointer comparison. profInstr
+	// receives each executed instruction's fetch PC, the post-execution SP,
+	// and the cycle delta; profIdle and profIntr receive idle advances and
+	// interrupt-delivery charges.
+	profInstr func(pc uint32, sp uint16, cycles uint64)
+	profIdle  func(n uint64)
+	profIntr  func(n uint64)
+
+	// memWatch, when non-nil, observes successful native SRAM accesses
+	// (loads, stores, pushes, pops) with the physical address; the kernel's
+	// watchpoint adapter translates to logical addresses. Kernel-mediated
+	// accesses (ReadBus/WriteBus) are reported by the kernel itself.
+	memWatch func(pc uint32, addr uint16, write bool)
+
 	// Native-access memory guard (the kernel's isolation backstop for
 	// unpatched SP-relative accesses). Zero values disable it.
 	guardLo, guardHi uint16
@@ -153,6 +168,34 @@ func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
 // Recorder returns the attached trace recorder, or nil.
 func (m *Machine) Recorder() *trace.Recorder { return m.rec }
 
+// ProfileHooks bundles the profiler callbacks SetProfileHooks installs. Any
+// field may be nil; nil fields cost one pointer comparison at their site.
+type ProfileHooks struct {
+	// Instr is called once per executed instruction with the fetch PC, the
+	// stack pointer after execution, and the cycles the instruction
+	// consumed. For a KTRAP it is called before dispatch with the 1-cycle
+	// fetch charge, so the charge lands on the task that reached the trap
+	// even when the handler switches tasks.
+	Instr func(pc uint32, sp uint16, cycles uint64)
+	// Idle is called for each idle advance (AddIdleCycles / sleep).
+	Idle func(n uint64)
+	// Interrupt is called for each interrupt delivery's cycle charge.
+	Interrupt func(n uint64)
+}
+
+// SetProfileHooks installs (or, with zero-value hooks, removes) the profiler
+// callbacks.
+func (m *Machine) SetProfileHooks(h ProfileHooks) {
+	m.profInstr = h.Instr
+	m.profIdle = h.Idle
+	m.profIntr = h.Interrupt
+}
+
+// SetMemWatch installs (or, with nil, removes) the native-access watchpoint
+// observer. It fires after a successful SRAM load/store/push/pop with the
+// physical address and the instruction's fetch PC.
+func (m *Machine) SetMemWatch(f func(pc uint32, addr uint16, write bool)) { m.memWatch = f }
+
 // SetGuard arms the native-store guard: SP-relative and other unpatched SRAM
 // accesses outside [lo, hi) fault. The kernel re-arms this per context
 // switch.
@@ -182,6 +225,9 @@ func (m *Machine) AddIdleCycles(n uint64) {
 	m.idle += n
 	if m.rec != nil && n > 0 {
 		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindIdle, Task: -1, Arg: n})
+	}
+	if m.profIdle != nil && n > 0 {
+		m.profIdle(n)
 	}
 }
 
@@ -309,7 +355,20 @@ func (m *Machine) Step() error {
 	if err != nil {
 		return m.faultf(FaultBadInst, 0, err.Error())
 	}
-	return m.exec(in)
+	if m.profInstr == nil {
+		return m.exec(in)
+	}
+	if in.Op == avr.OpKtrap {
+		// The trap handler may switch tasks mid-exec; attribute the 1-cycle
+		// KTRAP fetch to the task that reached the trap, before dispatch.
+		// The kernel attributes the service's own charges itself.
+		m.profInstr(m.pc, m.SP(), 1)
+		return m.exec(in)
+	}
+	pc, before := m.pc, m.cycle
+	err = m.exec(in)
+	m.profInstr(pc, m.SP(), m.cycle-before)
+	return err
 }
 
 // deliverInterrupt vectors to the highest-priority pending source.
@@ -334,6 +393,9 @@ func (m *Machine) deliverInterrupt() {
 	m.data[addrSREG] &^= flagI
 	m.pc = vec
 	m.cycle += 4
+	if m.profIntr != nil {
+		m.profIntr(4)
+	}
 	if m.rec != nil {
 		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindInterrupt, Task: -1, Arg: uint64(vec)})
 	}

@@ -1,0 +1,36 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFolded exports the profile as folded-stack text — one
+// "task;frame cycles" line per flat row — the format speedscope and
+// Brendan Gregg's flamegraph.pl consume directly.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	for _, row := range p.Flatten() {
+		if _, err := fmt.Fprintf(w, "%s;%s %d\n", row.Task, row.Frame, row.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the flat profile as CSV with per-row cycle share.
+func (p *Profiler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "task,frame,pc,cycles,percent"); err != nil {
+		return err
+	}
+	total := p.now
+	for _, row := range p.Flatten() {
+		pct := 0.0
+		if total > 0 {
+			pct = float64(row.Cycles) / float64(total) * 100
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%#x,%d,%.4f\n", row.Task, row.Frame, row.PC, row.Cycles, pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// pbuf builds protobuf wire format: varints and length-delimited fields are
+// the only wire types profile.proto uses.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// uintField emits a varint-typed field (wire type 0).
+func (p *pbuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField emits a length-delimited field (wire type 2).
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedField emits repeated varints as one packed length-delimited field.
+func (p *pbuf) packedField(field int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strtab interns strings into the profile string table (index 0 = "").
+type strtab struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func newStrtab() *strtab {
+	return &strtab{idx: map[string]uint64{"": 0}, list: []string{""}}
+}
+
+func (s *strtab) id(str string) uint64 {
+	if i, ok := s.idx[str]; ok {
+		return i
+	}
+	i := uint64(len(s.list))
+	s.idx[str] = i
+	s.list = append(s.list, str)
+	return i
+}
+
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType    = 1
+	profSample        = 2
+	profLocation      = 4
+	profFunction      = 5
+	profStringTable   = 6
+	profDurationNanos = 10
+	profPeriodType    = 11
+	profPeriod        = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locID      = 1
+	locAddress = 3
+	locLine    = 4
+
+	lineFunctionID = 1
+
+	funcID   = 1
+	funcName = 2
+)
+
+// WritePprof exports the profile as gzipped pprof protobuf, loadable by
+// `go tool pprof <file>`. Each flat row becomes a two-frame stack — the
+// symbol (or synthetic kernel frame) as the leaf under its task root — so
+// `-top` ranks symbols while the flame-graph view groups by task. The
+// encoding is hand-rolled against the profile.proto wire format (varints and
+// length-delimited messages only) and is deterministic byte-for-byte: no
+// timestamps, insertion-ordered tables, and a zeroed gzip header.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	clock := p.o.ClockHz
+	if clock == 0 {
+		clock = 7372800
+	}
+	st := newStrtab()
+	var out pbuf
+
+	valueType := func(typ, unit string) []byte {
+		var b pbuf
+		b.uintField(vtType, st.id(typ))
+		b.uintField(vtUnit, st.id(unit))
+		return b.b
+	}
+	out.bytesField(profSampleType, valueType("cycles", "count"))
+
+	// Functions and locations are interned in Flatten order, so ids are
+	// deterministic. A frame name maps to one function; a (function,
+	// address) pair maps to one location.
+	type locKey struct {
+		fn   uint64
+		addr uint64
+	}
+	funcIDs := map[string]uint64{}
+	var funcs []struct {
+		id   uint64
+		name uint64
+	}
+	locIDs := map[locKey]uint64{}
+	var locs []struct {
+		id   uint64
+		addr uint64
+		fn   uint64
+	}
+	intern := func(frame string, addr uint64) uint64 {
+		fn, ok := funcIDs[frame]
+		if !ok {
+			fn = uint64(len(funcs) + 1)
+			funcIDs[frame] = fn
+			funcs = append(funcs, struct {
+				id   uint64
+				name uint64
+			}{fn, st.id(frame)})
+		}
+		key := locKey{fn, addr}
+		loc, ok := locIDs[key]
+		if !ok {
+			loc = uint64(len(locs) + 1)
+			locIDs[key] = loc
+			locs = append(locs, struct {
+				id   uint64
+				addr uint64
+				fn   uint64
+			}{loc, addr, fn})
+		}
+		return loc
+	}
+
+	for _, row := range p.Flatten() {
+		// AVR flash is word-addressed; export byte addresses like a linker
+		// map would.
+		leaf := intern(row.Frame, uint64(row.PC)*2)
+		root := intern(row.Task, 0)
+		var sample pbuf
+		sample.packedField(sampleLocationID, []uint64{leaf, root})
+		sample.packedField(sampleValue, []uint64{row.Cycles})
+		out.bytesField(profSample, sample.b)
+	}
+	for _, l := range locs {
+		var lb pbuf
+		lb.uintField(locID, l.id)
+		lb.uintField(locAddress, l.addr)
+		var line pbuf
+		line.uintField(lineFunctionID, l.fn)
+		lb.bytesField(locLine, line.b)
+		out.bytesField(profLocation, lb.b)
+	}
+	for _, f := range funcs {
+		var fb pbuf
+		fb.uintField(funcID, f.id)
+		fb.uintField(funcName, f.name)
+		out.bytesField(profFunction, fb.b)
+	}
+	for _, s := range st.list {
+		out.bytesField(profStringTable, []byte(s))
+	}
+	// duration = now/clock seconds; split the multiply so multi-billion
+	// cycle runs cannot overflow uint64.
+	durNanos := p.now/clock*1e9 + p.now%clock*1e9/clock
+	out.uintField(profDurationNanos, durNanos)
+	out.bytesField(profPeriodType, valueType("cycles", "count"))
+	out.uintField(profPeriod, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

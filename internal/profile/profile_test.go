@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/rewriter"
+	"repro/internal/trace"
+)
+
+// newTestProfiler builds a profiler bound to a two-symbol image and one
+// registered task, mimicking the kernel's wiring.
+func newTestProfiler(o Options) *Profiler {
+	p := New(o)
+	sym := NewSymbolizer()
+	sym.AddImage("app", 0, fakeProgram("app"), 10, 4)
+	p.Bind(sym, nil, 7_372_800)
+	p.RegisterTask(1, "app#0", 0x100, 0x110, 0x150)
+	p.SetContext(1, 0x100, 0x110, 0x150)
+	return p
+}
+
+func TestAttributionBuckets(t *testing.T) {
+	p := newTestProfiler(Options{})
+
+	p.OnBoot(100)
+	p.OnInstr(0, 0x14f, 2)                             // app.main
+	p.OnInstr(4, 0x14f, 1)                             // app.helper: the KTRAP fetch
+	p.OnService(1, rewriter.ClassDirectMem, 4, 10, 12) // 10 overhead + 2 app at pc 4
+	p.OnAppExtra(1, 0, 1)                              // taken-branch extra on main
+	p.OnReloc(1, 4, 64, 30)
+	p.OnInterrupt(4)
+	p.OnSwitch(50)
+	p.OnCompact(20)
+	p.OnIdle(5)
+
+	if got, want := p.TotalCycles(), uint64(100+2+1+12+1+30+4+50+20+5); got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+	// Task total: pcs (2 main + 1 fetch + 2 emulated + 1 extra) + svc 10 +
+	// reloc 30 + intr 4.
+	if got, want := p.TaskTotal(1), uint64(6+10+30+4); got != want {
+		t.Errorf("TaskTotal = %d, want %d", got, want)
+	}
+	if got := p.ServiceOverhead(rewriter.ClassDirectMem); got != 10 {
+		t.Errorf("ServiceOverhead = %d, want 10", got)
+	}
+	if svc := p.TaskServiceOverhead(1); svc[uint8(rewriter.ClassDirectMem)] != 10 {
+		t.Errorf("TaskServiceOverhead = %v", svc)
+	}
+	if p.BootCycles() != 100 || p.SwitchCycles() != 50 ||
+		p.CompactionCycles() != 20 || p.IdleCycles() != 5 || p.RelocCycles() != 30 {
+		t.Errorf("global buckets: boot=%d switch=%d compact=%d idle=%d reloc=%d",
+			p.BootCycles(), p.SwitchCycles(), p.CompactionCycles(), p.IdleCycles(), p.RelocCycles())
+	}
+	if p.TaskName(1) != "app#0" || p.TaskName(99) != "machine" {
+		t.Errorf("TaskName: %q / %q", p.TaskName(1), p.TaskName(99))
+	}
+}
+
+// TestServiceReclaimsFetchCycle pins the fault-before-first-access edge: the
+// kernel reports overhead 1 with nothing charged in-window, because the
+// already-spent KTRAP fetch cycle (booked by OnInstr to the app symbol)
+// counts as service overhead. OnService must move that cycle, not duplicate
+// it.
+func TestServiceReclaimsFetchCycle(t *testing.T) {
+	p := newTestProfiler(Options{})
+	p.OnInstr(4, 0x14f, 1)                             // KTRAP fetch at app.helper
+	p.OnService(1, rewriter.ClassIndirectMem, 4, 1, 0) // faulted before first access
+
+	if got := p.TaskTotal(1); got != 1 {
+		t.Fatalf("TaskTotal = %d, want 1 (the single fetch cycle)", got)
+	}
+	if got := p.ServiceOverhead(rewriter.ClassIndirectMem); got != 1 {
+		t.Fatalf("overhead = %d, want 1", got)
+	}
+	// The app bucket must be empty: the cycle now lives in the service frame.
+	for _, s := range p.Flatten() {
+		if s.Task == "app#0" && !strings.HasPrefix(s.Frame, "kernel.") && s.Cycles != 0 {
+			t.Errorf("app frame %q retains %d cycles", s.Frame, s.Cycles)
+		}
+	}
+}
+
+func TestUnknownTaskFallsBackToMachine(t *testing.T) {
+	p := New(Options{})
+	p.OnService(7, rewriter.ClassBranch, 0, 3, 3)
+	p.OnAppExtra(7, 0, 2)
+	if got := p.TaskTotal(MachineTask); got != 5 {
+		t.Errorf("machine task total = %d, want 5", got)
+	}
+}
+
+func TestFlattenOrderingAndTop(t *testing.T) {
+	p := newTestProfiler(Options{})
+	p.OnInstr(0, 0, 5) // app.main
+	p.OnInstr(4, 0, 9) // app.helper — hotter, must sort first
+	p.OnService(1, rewriter.ClassBranch, 0, 7, 7)
+	p.OnBoot(11)
+	p.OnIdle(3)
+
+	rows := p.Flatten()
+	var got []string
+	for _, r := range rows {
+		got = append(got, r.Task+";"+r.Frame)
+	}
+	want := []string{
+		"app#0;app.helper",
+		"app#0;app.main",
+		"app#0;kernel.branch",
+		"kernel;kernel.boot",
+		"machine;idle",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("Flatten order = %v, want %v", got, want)
+	}
+
+	top := p.Top(2)
+	if len(top) != 2 || top[0].Frame != "kernel.boot" || top[1].Frame != "app.helper" {
+		t.Fatalf("Top(2) = %+v", top)
+	}
+	if top[0].Percent <= 0 || top[0].Percent > 100 {
+		t.Errorf("Percent = %v", top[0].Percent)
+	}
+	if all := p.Top(0); len(all) != 5 {
+		t.Errorf("Top(0) returned %d frames, want 5", len(all))
+	}
+}
+
+func TestWriteFoldedAndCSV(t *testing.T) {
+	p := newTestProfiler(Options{})
+	p.OnInstr(0, 0, 5)
+	p.OnService(1, rewriter.ClassBranch, 0, 7, 7)
+
+	var folded bytes.Buffer
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	wantFolded := "app#0;app.main 5\napp#0;kernel.branch 7\n"
+	if folded.String() != wantFolded {
+		t.Errorf("folded = %q, want %q", folded.String(), wantFolded)
+	}
+
+	var csv bytes.Buffer
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "task,frame,pc,cycles,percent" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "app#0,app.main,0x0,5,") {
+		t.Errorf("csv rows = %q", lines[1:])
+	}
+}
+
+func TestWritePprofDeterministicAndDecodable(t *testing.T) {
+	run := func() []byte {
+		p := newTestProfiler(Options{})
+		p.OnInstr(0, 0, 5)
+		p.OnInstr(4, 0, 3)
+		p.OnService(1, rewriter.ClassBranch, 0, 7, 7)
+		p.OnBoot(11)
+		var buf bytes.Buffer
+		if err := p.WritePprof(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical profiles serialized differently")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gzip stream truncated: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty profile body")
+	}
+	// The uncompressed proto must carry the symbol names in its string table.
+	for _, name := range []string{"app.main", "app.helper", "kernel.branch", "kernel.boot", "cycles"} {
+		if !bytes.Contains(raw, []byte(name)) {
+			t.Errorf("profile proto missing string %q", name)
+		}
+	}
+}
+
+// TestWatchEventEmission checks the trace coupling: a hit raises a KindWatch
+// event carrying task, PC, logical address, and the symbolized site.
+func TestWatchEventEmission(t *testing.T) {
+	rec := trace.New()
+	p := New(Options{WatchLimit: 2})
+	sym := NewSymbolizer()
+	sym.AddImage("app", 0, fakeProgram("app"), 10, 4)
+	p.Bind(sym, rec, 7_372_800)
+	p.AddWatch(Watchpoint{Addr: 0x100, Len: 2, Read: true, Write: true})
+
+	p.Watch(1000, 1, 4, 0x100, true)
+	p.Watch(2000, 1, 0, 0x101, false)
+	p.Watch(3000, 1, 0, 0x100, false) // over the cap: counted, not retained
+
+	if got := len(p.WatchHits()); got != 2 {
+		t.Fatalf("retained hits = %d, want 2", got)
+	}
+	if got := p.DroppedWatchHits(); got != 1 {
+		t.Fatalf("dropped hits = %d, want 1", got)
+	}
+	events := rec.Events()
+	if len(events) != 3 {
+		t.Fatalf("trace events = %d, want 3 (drops still trace)", len(events))
+	}
+	e := events[0]
+	if e.Kind != trace.KindWatch || e.Task != 1 || e.Arg != 0x100 || e.Arg2 != 1 ||
+		e.PC != 4 || e.Detail != "app.helper" {
+		t.Errorf("watch event = %+v", e)
+	}
+	if events[1].Arg2 != 0 {
+		t.Errorf("read hit encoded as write: %+v", events[1])
+	}
+}

@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+)
+
+// StackSample is one flight-recorder reading of a task's stack pointer.
+type StackSample struct {
+	// Cycle is the simulated cycle at the sample.
+	Cycle uint64
+	// SP is the physical stack pointer.
+	SP uint16
+	// Used is the stack depth in bytes relative to the task's region top.
+	Used uint32
+}
+
+// RelocMark is one stack-relocation event on a task's timeline.
+type RelocMark struct {
+	// Cycle is the simulated cycle after the relocation charge.
+	Cycle uint64
+	// PC is the instruction site whose stack access triggered the growth.
+	PC uint32
+	// Granted is the bytes of new stack space granted.
+	Granted uint64
+	// Cycles is the relocation cost charged.
+	Cycles uint64
+}
+
+// sampleStack records one SP reading into the task's ring buffer and tracks
+// the high-water mark. An SP at or above the region top reads as depth 0.
+func (p *Profiler) sampleStack(t *taskProf, sp uint16) {
+	var used uint32
+	if t.pu != 0 && sp < t.pu {
+		used = uint32(t.pu) - 1 - uint32(sp)
+	}
+	if used > t.peak {
+		t.peak = used
+	}
+	t.samples++
+	s := StackSample{Cycle: p.now, SP: sp, Used: used}
+	if len(t.ring) < p.o.StackRing {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.ringPos] = s
+	t.ringPos = (t.ringPos + 1) % p.o.StackRing
+	t.wrapped = true
+}
+
+// StackTimeline returns task id's retained samples in chronological order,
+// its relocation marks, and the sampled high-water mark. The sample slice is
+// freshly allocated; relocs is the profiler's backing store.
+func (p *Profiler) StackTimeline(id int32) (samples []StackSample, relocs []RelocMark, peak uint32) {
+	t, ok := p.tasks[id]
+	if !ok {
+		return nil, nil, 0
+	}
+	if t.wrapped {
+		samples = make([]StackSample, 0, len(t.ring))
+		samples = append(samples, t.ring[t.ringPos:]...)
+		samples = append(samples, t.ring[:t.ringPos]...)
+	} else {
+		samples = append(samples, t.ring...)
+	}
+	return samples, t.relocs, t.peak
+}
+
+// WriteStackTimeline renders the flight recorder as CSV: one header, then
+// per task (registration order) its relocation marks and retained samples.
+// Depth readings reproduce the paper's stack-dynamics story — growth bursts,
+// relocation points, and the high-water mark each benchmark reaches.
+func (p *Profiler) WriteStackTimeline(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,task,cycle,sp,used,granted,cost"); err != nil {
+		return err
+	}
+	for _, id := range p.order {
+		t := p.tasks[id]
+		if t.samples == 0 && len(t.relocs) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "peak,%s,0,0,%d,0,0\n", t.name, t.peak); err != nil {
+			return err
+		}
+		for _, r := range t.relocs {
+			if _, err := fmt.Fprintf(w, "reloc,%s,%d,0,0,%d,%d\n", t.name, r.Cycle, r.Granted, r.Cycles); err != nil {
+				return err
+			}
+		}
+		samples, _, _ := p.StackTimeline(id)
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "sample,%s,%d,%#x,%d,0,0\n", t.name, s.Cycle, s.SP, s.Used); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

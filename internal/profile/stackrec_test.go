@@ -1,0 +1,114 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStackSamplingAndPeak(t *testing.T) {
+	p := New(Options{StackInterval: 10, StackRing: 8})
+	p.RegisterTask(1, "app#0", 0x100, 0x110, 0x150)
+	p.SetContext(1, 0x100, 0x110, 0x150)
+
+	// Each OnInstr advances 10 cycles, so every instruction samples.
+	sps := []uint16{0x14f, 0x140, 0x130, 0x14f}
+	for _, sp := range sps {
+		p.OnInstr(0, sp, 10)
+	}
+	samples, relocs, peak := p.StackTimeline(1)
+	if len(samples) != len(sps) {
+		t.Fatalf("samples = %d, want %d", len(samples), len(sps))
+	}
+	// pu-1 - sp: 0x14f -> 0, 0x140 -> 15, 0x130 -> 31.
+	if samples[0].Used != 0 || samples[1].Used != 15 || samples[2].Used != 31 {
+		t.Errorf("depths = %d,%d,%d", samples[0].Used, samples[1].Used, samples[2].Used)
+	}
+	if peak != 31 {
+		t.Errorf("peak = %d, want 31", peak)
+	}
+	if len(relocs) != 0 {
+		t.Errorf("unexpected relocs: %v", relocs)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycle <= samples[i-1].Cycle {
+			t.Fatalf("samples out of order at %d: %v", i, samples)
+		}
+	}
+}
+
+func TestStackRingWrapsChronologically(t *testing.T) {
+	p := New(Options{StackInterval: 1, StackRing: 4})
+	p.RegisterTask(1, "app#0", 0x100, 0x110, 0x150)
+	p.SetContext(1, 0x100, 0x110, 0x150)
+
+	for i := 0; i < 10; i++ {
+		p.OnInstr(0, uint16(0x14f-i), 1)
+	}
+	samples, _, peak := p.StackTimeline(1)
+	if len(samples) != 4 {
+		t.Fatalf("retained = %d, want ring size 4", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycle <= samples[i-1].Cycle {
+			t.Fatalf("wrapped ring out of order: %+v", samples)
+		}
+	}
+	if samples[len(samples)-1].Cycle != p.TotalCycles() {
+		t.Errorf("last sample at %d, clock at %d", samples[len(samples)-1].Cycle, p.TotalCycles())
+	}
+	// The peak survives even though early deep samples were overwritten.
+	if peak != 9 {
+		t.Errorf("peak = %d, want 9", peak)
+	}
+}
+
+func TestSPAboveRegionReadsAsZeroDepth(t *testing.T) {
+	p := New(Options{StackInterval: 1, StackRing: 4})
+	p.RegisterTask(1, "app#0", 0x100, 0x110, 0x150)
+	p.SetContext(1, 0x100, 0x110, 0x150)
+	p.OnInstr(0, 0x150, 1) // SP at region top: empty stack
+	samples, _, peak := p.StackTimeline(1)
+	if len(samples) != 1 || samples[0].Used != 0 || peak != 0 {
+		t.Errorf("samples = %+v, peak = %d", samples, peak)
+	}
+}
+
+func TestStackTimelineUnknownTask(t *testing.T) {
+	p := New(Options{})
+	samples, relocs, peak := p.StackTimeline(42)
+	if samples != nil || relocs != nil || peak != 0 {
+		t.Errorf("unknown task: %v %v %d", samples, relocs, peak)
+	}
+}
+
+func TestWriteStackTimeline(t *testing.T) {
+	p := New(Options{StackInterval: 10, StackRing: 8})
+	p.RegisterTask(1, "app#0", 0x100, 0x110, 0x150)
+	p.RegisterTask(2, "quiet", 0x150, 0x160, 0x1a0) // never runs: no rows
+	p.SetContext(1, 0x100, 0x110, 0x150)
+	p.OnInstr(0, 0x140, 10)
+	p.OnReloc(1, 4, 64, 30)
+
+	var buf bytes.Buffer
+	if err := p.WriteStackTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "kind,task,cycle,sp,used,granted,cost" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "peak,app#0,0,0,15,0,0") {
+		t.Errorf("missing peak row:\n%s", out)
+	}
+	if !strings.Contains(out, "reloc,app#0,40,0,0,64,30") {
+		t.Errorf("missing reloc row:\n%s", out)
+	}
+	if !strings.Contains(out, "sample,app#0,10,0x140,15,0,0") {
+		t.Errorf("missing sample row:\n%s", out)
+	}
+	if strings.Contains(out, "quiet") {
+		t.Errorf("idle task should be omitted:\n%s", out)
+	}
+}

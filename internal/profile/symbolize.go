@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/image"
+)
+
+// Frame is a resolved code location: which loaded image a flash word address
+// belongs to and which symbol covers it.
+type Frame struct {
+	// Image is the program name of the covering image, or "" when the PC is
+	// outside every registered image.
+	Image string
+	// Symbol is the covering code symbol. PCs inside the rewriter-emitted
+	// trampoline filler resolve to "<trampoline>", PCs inside the shift-table
+	// blob to "<shift-table>", PCs before the first symbol to the image name,
+	// and PCs outside every image to "<unknown>".
+	Symbol string
+	// Offset is the word offset from the symbol (or region) start.
+	Offset uint32
+}
+
+// Name renders the frame as "image.symbol" (or just the symbol when the
+// image is unknown).
+func (f Frame) Name() string {
+	if f.Image == "" || f.Image == f.Symbol {
+		return f.Symbol
+	}
+	return f.Image + "." + f.Symbol
+}
+
+// imageEntry is one naturalized program placed in flash.
+type imageEntry struct {
+	name     string
+	base     uint32         // flash word address the image is loaded at
+	codeEnd  uint32         // base + naturalized code words
+	trampEnd uint32         // codeEnd + trampoline filler words
+	end      uint32         // base + total image words (incl. shift table)
+	syms     []image.Symbol // code symbols, sorted by naturalized address
+}
+
+// Symbolizer maps flash word addresses back to function symbols. Images are
+// registered as the kernel loads them (flash base plus the naturalized
+// program, whose code symbols the rewriter already remapped to naturalized
+// addresses), so lookups handle relocated code, KTRAP escapes inside a
+// function body, the second word of 32-bit instructions, and the
+// trampoline/shift-table regions the rewriter appends after the code.
+type Symbolizer struct {
+	images []imageEntry // sorted by base
+}
+
+// NewSymbolizer returns an empty symbolizer.
+func NewSymbolizer() *Symbolizer { return &Symbolizer{} }
+
+// AddImage registers a naturalized program loaded at flash word address base.
+// codeWords and trampolineWords are the rewriter's region sizes
+// (Naturalized.CodeWords / Naturalized.TrampolineWords); everything beyond
+// them up to len(prog.Words) is the shift table.
+func (s *Symbolizer) AddImage(name string, base uint32, prog *image.Program, codeWords, trampolineWords int) {
+	e := imageEntry{
+		name:     name,
+		base:     base,
+		codeEnd:  base + uint32(codeWords),
+		trampEnd: base + uint32(codeWords+trampolineWords),
+		end:      base + uint32(len(prog.Words)),
+	}
+	for _, sym := range prog.Symbols {
+		if sym.Kind == image.SymCode {
+			e.syms = append(e.syms, sym)
+		}
+	}
+	sort.Slice(e.syms, func(i, j int) bool {
+		if e.syms[i].Addr != e.syms[j].Addr {
+			return e.syms[i].Addr < e.syms[j].Addr
+		}
+		return e.syms[i].Name < e.syms[j].Name
+	})
+	s.images = append(s.images, e)
+	sort.Slice(s.images, func(i, j int) bool { return s.images[i].base < s.images[j].base })
+}
+
+// Resolve maps a flash word address to its frame. Resolution is a floor
+// lookup over the image's sorted code symbols, so a PC in the middle of a
+// function — including the second word of a 32-bit instruction or a KTRAP id
+// word — lands on the containing symbol deterministically.
+func (s *Symbolizer) Resolve(pc uint32) Frame {
+	if s == nil {
+		return Frame{Symbol: "<unknown>", Offset: pc}
+	}
+	// Find the image with the greatest base <= pc.
+	i := sort.Search(len(s.images), func(i int) bool { return s.images[i].base > pc }) - 1
+	if i < 0 || pc >= s.images[i].end {
+		return Frame{Symbol: "<unknown>", Offset: pc}
+	}
+	e := &s.images[i]
+	switch {
+	case pc >= e.trampEnd:
+		return Frame{Image: e.name, Symbol: "<shift-table>", Offset: pc - e.trampEnd}
+	case pc >= e.codeEnd:
+		return Frame{Image: e.name, Symbol: "<trampoline>", Offset: pc - e.codeEnd}
+	}
+	off := pc - e.base
+	j := sort.Search(len(e.syms), func(j int) bool { return e.syms[j].Addr > off }) - 1
+	if j < 0 {
+		// Code before the first symbol: charge it to the image itself.
+		return Frame{Image: e.name, Symbol: e.name, Offset: off}
+	}
+	return Frame{Image: e.name, Symbol: e.syms[j].Name, Offset: off - e.syms[j].Addr}
+}
+
+// Name renders the symbol covering pc as "image.symbol+0xoff" — the form the
+// kernel embeds in fault reasons and reconciliation errors. The offset is
+// omitted when zero.
+func (s *Symbolizer) Name(pc uint32) string {
+	f := s.Resolve(pc)
+	if f.Offset == 0 {
+		return f.Name()
+	}
+	return fmt.Sprintf("%s+%#x", f.Name(), f.Offset)
+}

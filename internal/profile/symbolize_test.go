@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/image"
+)
+
+// fakeProgram builds an image with a known symbol layout:
+//
+//	word 0..3   main
+//	word 4..7   helper (words 5-6 form one 32-bit instruction)
+//	word 8..9   last
+//	word 10..13 trampoline filler
+//	word 14..19 shift table
+func fakeProgram(name string) *image.Program {
+	return &image.Program{
+		Name:  name,
+		Words: make([]uint16, 20),
+		Symbols: []image.Symbol{
+			{Name: "main", Kind: image.SymCode, Addr: 0},
+			{Name: "helper", Kind: image.SymCode, Addr: 4},
+			{Name: "last", Kind: image.SymCode, Addr: 8},
+			{Name: "buf", Kind: image.SymData, Addr: 0x100},
+		},
+	}
+}
+
+func TestResolveEdgeCases(t *testing.T) {
+	s := NewSymbolizer()
+	s.AddImage("app", 0x40, fakeProgram("app"), 10, 4)
+
+	cases := []struct {
+		name string
+		pc   uint32
+		want Frame
+	}{
+		{"symbol start", 0x40, Frame{Image: "app", Symbol: "main", Offset: 0}},
+		{"mid symbol", 0x42, Frame{Image: "app", Symbol: "main", Offset: 2}},
+		{"32-bit second word", 0x46, Frame{Image: "app", Symbol: "helper", Offset: 2}},
+		{"past last symbol", 0x49, Frame{Image: "app", Symbol: "last", Offset: 1}},
+		{"trampoline", 0x4a, Frame{Image: "app", Symbol: "<trampoline>", Offset: 0}},
+		{"trampoline end", 0x4d, Frame{Image: "app", Symbol: "<trampoline>", Offset: 3}},
+		{"shift table", 0x4e, Frame{Image: "app", Symbol: "<shift-table>", Offset: 0}},
+		{"last image word", 0x53, Frame{Image: "app", Symbol: "<shift-table>", Offset: 5}},
+		{"past image end", 0x54, Frame{Symbol: "<unknown>", Offset: 0x54}},
+		{"below image base", 0x3f, Frame{Symbol: "<unknown>", Offset: 0x3f}},
+	}
+	for _, c := range cases {
+		got := s.Resolve(c.pc)
+		if got != c.want {
+			t.Errorf("%s: Resolve(%#x) = %+v, want %+v", c.name, c.pc, got, c.want)
+		}
+		// Resolution must be deterministic: a second lookup is identical.
+		if again := s.Resolve(c.pc); again != got {
+			t.Errorf("%s: Resolve(%#x) unstable: %+v then %+v", c.name, c.pc, got, again)
+		}
+	}
+}
+
+// TestResolveRelocatedImage registers the same program at two flash bases —
+// the multi-task case where the loader placed a second copy after the first —
+// and checks each copy's addresses resolve against its own base.
+func TestResolveRelocatedImage(t *testing.T) {
+	s := NewSymbolizer()
+	s.AddImage("app#0", 0x40, fakeProgram("app"), 10, 4)
+	s.AddImage("app#1", 0x200, fakeProgram("app"), 10, 4)
+
+	if got := s.Resolve(0x46); got.Image != "app#0" || got.Symbol != "helper" {
+		t.Errorf("first copy: got %+v", got)
+	}
+	if got := s.Resolve(0x206); got.Image != "app#1" || got.Symbol != "helper" || got.Offset != 2 {
+		t.Errorf("relocated copy: got %+v", got)
+	}
+	// The gap between the copies belongs to no image.
+	if got := s.Resolve(0x100); got.Symbol != "<unknown>" {
+		t.Errorf("gap: got %+v", got)
+	}
+}
+
+// TestResolveBeforeFirstSymbol charges code before the first symbol to the
+// image itself.
+func TestResolveBeforeFirstSymbol(t *testing.T) {
+	prog := fakeProgram("app")
+	prog.Symbols = []image.Symbol{{Name: "late", Kind: image.SymCode, Addr: 6}}
+	s := NewSymbolizer()
+	s.AddImage("app", 0, prog, 10, 4)
+	got := s.Resolve(3)
+	if got.Symbol != "app" || got.Offset != 3 {
+		t.Errorf("pre-symbol code: got %+v", got)
+	}
+	if got.Name() != "app" {
+		t.Errorf("pre-symbol frame renders as %q, want plain image name", got.Name())
+	}
+}
+
+func TestSymbolizerName(t *testing.T) {
+	s := NewSymbolizer()
+	s.AddImage("app", 0x40, fakeProgram("app"), 10, 4)
+	for pc, want := range map[uint32]string{
+		0x40: "app.main",
+		0x43: "app.main+0x3",
+		0x46: "app.helper+0x2",
+		0x4a: "app.<trampoline>",
+		0x99: "<unknown>+0x99",
+	} {
+		if got := s.Name(pc); got != want {
+			t.Errorf("Name(%#x) = %q, want %q", pc, got, want)
+		}
+	}
+}
+
+func TestNilSymbolizerIsSafe(t *testing.T) {
+	var s *Symbolizer
+	if got := s.Resolve(0x1234); got.Symbol != "<unknown>" {
+		t.Errorf("nil Resolve: got %+v", got)
+	}
+	if got := s.Name(0); got != "<unknown>" {
+		t.Errorf("nil Name: got %q", got)
+	}
+}

@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Watchpoint describes a watched logical data-address range.
+type Watchpoint struct {
+	// Addr is the first watched logical address.
+	Addr uint16
+	// Len is the range length in bytes (>= 1).
+	Len uint16
+	// Read / Write select which access kinds fire.
+	Read, Write bool
+}
+
+// String renders the watchpoint in the -watch flag syntax.
+func (w Watchpoint) String() string {
+	mode := "rw"
+	switch {
+	case w.Read && !w.Write:
+		mode = "r"
+	case w.Write && !w.Read:
+		mode = "w"
+	}
+	return fmt.Sprintf("%#x:%d:%s", w.Addr, w.Len, mode)
+}
+
+// ParseWatch parses the -watch flag syntax addr[:len][:r|w|rw]. addr and len
+// accept 0x-prefixed hex or decimal; len defaults to 1 and mode to rw.
+func ParseWatch(s string) (Watchpoint, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) == 0 || len(parts) > 3 || parts[0] == "" {
+		return Watchpoint{}, fmt.Errorf("watch %q: want addr[:len][:r|w|rw]", s)
+	}
+	addr, err := strconv.ParseUint(parts[0], 0, 16)
+	if err != nil {
+		return Watchpoint{}, fmt.Errorf("watch %q: bad address: %v", s, err)
+	}
+	wp := Watchpoint{Addr: uint16(addr), Len: 1, Read: true, Write: true}
+	rest := parts[1:]
+	if len(rest) > 0 {
+		// The middle component is optional: "addr:w" is valid.
+		if n, err := strconv.ParseUint(rest[0], 0, 16); err == nil {
+			if n == 0 || n > 0x10000-addr {
+				return Watchpoint{}, fmt.Errorf("watch %q: length %d out of range", s, n)
+			}
+			wp.Len = uint16(n)
+			rest = rest[1:]
+		}
+	}
+	if len(rest) > 1 {
+		return Watchpoint{}, fmt.Errorf("watch %q: want addr[:len][:r|w|rw]", s)
+	}
+	if len(rest) == 1 {
+		switch rest[0] {
+		case "r":
+			wp.Write = false
+		case "w":
+			wp.Read = false
+		case "rw", "wr":
+		default:
+			return Watchpoint{}, fmt.Errorf("watch %q: bad mode %q (want r, w, or rw)", s, rest[0])
+		}
+	}
+	return wp, nil
+}
+
+// WatchHit records one watched access.
+type WatchHit struct {
+	// Cycle is the simulated cycle of the access.
+	Cycle uint64
+	// Task is the accessing task, or -1.
+	Task int32
+	// PC is the flash word address of the accessing instruction.
+	PC uint32
+	// Addr is the logical address touched.
+	Addr uint16
+	// Write is true for a store, false for a load.
+	Write bool
+}
+
+// AddWatch arms a watchpoint.
+func (p *Profiler) AddWatch(wp Watchpoint) {
+	if wp.Len == 0 {
+		wp.Len = 1
+	}
+	p.watches = append(p.watches, wp)
+}
+
+// Watches returns the armed watchpoints.
+func (p *Profiler) Watches() []Watchpoint { return p.watches }
+
+// Watching reports whether any armed watchpoint covers (addr, access kind).
+// Call sites gate on len(Watches()) != 0 or on the profiler pointer itself,
+// so the common no-watchpoint path stays a nil compare.
+func (p *Profiler) Watching(addr uint16, write bool) bool {
+	for _, w := range p.watches {
+		if addr >= w.Addr && uint32(addr) < uint32(w.Addr)+uint32(w.Len) {
+			if (write && w.Write) || (!write && w.Read) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Watch records a hit and raises a KindWatch trace event carrying the task,
+// PC, and symbolized site. cycle is passed explicitly because kernel
+// services report hits mid-charge, before the profiler's own clock mirror
+// catches up.
+func (p *Profiler) Watch(cycle uint64, task int32, pc uint32, addr uint16, write bool) {
+	if len(p.hits) < p.o.WatchLimit {
+		p.hits = append(p.hits, WatchHit{Cycle: cycle, Task: task, PC: pc, Addr: addr, Write: write})
+	} else {
+		p.droppedHits++
+	}
+	if p.rec != nil {
+		var w uint64
+		if write {
+			w = 1
+		}
+		p.rec.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.KindWatch, Task: task,
+			Arg: uint64(addr), Arg2: w, PC: pc, Detail: p.sym.Name(pc),
+		})
+	}
+}
+
+// WatchHits returns the retained hits in occurrence order.
+func (p *Profiler) WatchHits() []WatchHit { return p.hits }
+
+// DroppedWatchHits returns how many hits the WatchLimit discarded.
+func (p *Profiler) DroppedWatchHits() uint64 { return p.droppedHits }

@@ -149,7 +149,13 @@ func WriteChrome(w io.Writer, events []Event, opt ChromeOptions) error {
 		case KindRelease:
 			instant("region-release", e, map[string]any{"bytes": e.Arg, "cycles": e.Arg2})
 		case KindMemFault:
-			instant("mem-fault", e, map[string]any{"addr": e.Arg})
+			instant("mem-fault", e, map[string]any{"addr": e.Arg, "pc": e.PC})
+		case KindWatch:
+			rw := "read"
+			if e.Arg2 != 0 {
+				rw = "write"
+			}
+			instant("watch-"+rw, e, map[string]any{"addr": e.Arg, "pc": e.PC})
 		case KindSleep:
 			instant("sleep", e, map[string]any{"wake_at": e.Arg})
 		case KindWake:

@@ -83,6 +83,11 @@ const (
 	// the instruction/cycle budget (Arg) was exhausted, not because the
 	// workload finished.
 	KindBudget
+	// KindWatch records a watchpoint hit: a watched logical data address was
+	// touched. Arg is the logical address, Arg2 is 1 for a write and 0 for a
+	// read, PC is the instruction site, and Detail carries the symbolized
+	// site when a symbolizer is attached.
+	KindWatch
 )
 
 func (k Kind) String() string {
@@ -123,6 +128,8 @@ func (k Kind) String() string {
 		return "halt"
 	case KindBudget:
 		return "budget"
+	case KindWatch:
+		return "watch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -138,6 +145,10 @@ type Event struct {
 	Task int32
 	// Arg and Arg2 are kind-specific payloads.
 	Arg, Arg2 uint64
+	// PC is the flash word address of the instruction the event concerns
+	// (trap enter, memory fault, watchpoint hit), or 0 when not applicable.
+	// A symbolizer (internal/profile) maps it back to a function name.
+	PC uint32
 	// Detail is a kind-specific human string (task name, exit reason, halt
 	// note). Only lifecycle events carry one, so the hot kinds stay
 	// allocation-free.
@@ -191,7 +202,11 @@ func (e Event) Format(name func(int32) string) string {
 	case KindRelease:
 		return fmt.Sprintf("[%d] release %s region %dB (%d compaction cycles)", e.Cycle, who, e.Arg, e.Arg2)
 	case KindMemFault:
-		return fmt.Sprintf("[%d] memory fault %s addr=%#x", e.Cycle, who, e.Arg)
+		s := fmt.Sprintf("[%d] memory fault %s addr=%#x pc=%#x", e.Cycle, who, e.Arg, e.PC)
+		if e.Detail != "" {
+			s += " in " + e.Detail
+		}
+		return s
 	case KindSleep:
 		return fmt.Sprintf("[%d] sleep %s until %d", e.Cycle, who, e.Arg)
 	case KindWake:
@@ -204,6 +219,16 @@ func (e Event) Format(name func(int32) string) string {
 		return fmt.Sprintf("[%d] halt: %s", e.Cycle, e.Detail)
 	case KindBudget:
 		return fmt.Sprintf("[%d] budget %d exhausted", e.Cycle, e.Arg)
+	case KindWatch:
+		rw := "read"
+		if e.Arg2 != 0 {
+			rw = "write"
+		}
+		s := fmt.Sprintf("[%d] watch %s %s addr=%#x pc=%#x", e.Cycle, who, rw, e.Arg, e.PC)
+		if e.Detail != "" {
+			s += " in " + e.Detail
+		}
+		return s
 	}
 	return fmt.Sprintf("[%d] %s task=%d arg=%d arg2=%d %s", e.Cycle, e.Kind, e.Task, e.Arg, e.Arg2, e.Detail)
 }
@@ -255,7 +280,7 @@ func (r *Recorder) Reset() { r.events = r.events[:0]; r.dropped = 0 }
 func (r *Recorder) Encode() []byte {
 	var b strings.Builder
 	for _, e := range r.events {
-		fmt.Fprintf(&b, "%d %d %d %d %d %q\n", e.Cycle, uint8(e.Kind), e.Task, e.Arg, e.Arg2, e.Detail)
+		fmt.Fprintf(&b, "%d %d %d %d %d %d %q\n", e.Cycle, uint8(e.Kind), e.Task, e.Arg, e.Arg2, e.PC, e.Detail)
 	}
 	return []byte(b.String())
 }

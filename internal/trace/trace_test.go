@@ -19,7 +19,7 @@ func TestRecorderEmitAndEncode(t *testing.T) {
 		t.Fatalf("Dropped = %d, want 0", r.Dropped())
 	}
 	enc := r.Encode()
-	want := "10 1 -1 5738 0 \"\"\n20 3 0 512 512 \"blink\"\n30 5 0 0 2298 \"\"\n"
+	want := "10 1 -1 5738 0 0 \"\"\n20 3 0 512 512 0 \"blink\"\n30 5 0 0 2298 0 \"\"\n"
 	// Arg of the spawn line is 0x200 = 512.
 	if string(enc) != want {
 		t.Fatalf("Encode:\n%s\nwant:\n%s", enc, want)
@@ -105,7 +105,7 @@ func TestEventFormat(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := KindBoot; k <= KindBudget; k++ {
+	for k := KindBoot; k <= KindWatch; k++ {
 		if s := k.String(); strings.HasPrefix(s, "kind(") {
 			t.Errorf("Kind %d has no name", uint8(k))
 		}

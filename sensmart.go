@@ -34,6 +34,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/minic"
+	"repro/internal/profile"
 	"repro/internal/rewriter"
 	"repro/internal/trace"
 )
@@ -67,6 +68,15 @@ type (
 	// Metrics is the kernel's aggregation snapshot: per-task utilization,
 	// per-service trap costs, and the kernel-vs-application cycle split.
 	Metrics = trace.Metrics
+	// Profiler is the cycle-exact symbol profiler: per-(task, symbol, PC)
+	// cycle attribution, a stack-depth flight recorder, and memory
+	// watchpoints (see internal/profile).
+	Profiler = profile.Profiler
+	// ProfileOptions tunes the profiler (stack sampling interval, ring
+	// size, watch-hit cap).
+	ProfileOptions = profile.Options
+	// Watchpoint is one watched logical address range.
+	Watchpoint = profile.Watchpoint
 )
 
 // NewSystem creates a fresh simulated node with an attached SenSmart
@@ -86,6 +96,18 @@ func WithTrace(r *TraceRecorder) Option { return core.WithTrace(r) }
 
 // NewTraceRecorder returns an empty unbounded trace recorder.
 func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// WithProfile attaches a cycle-exact profiler to the system being built.
+// Export results with System.WriteProfile ("pprof", "folded", or "csv") or
+// query them with Profiler.Top / Flatten / StackTimeline / WatchHits.
+func WithProfile(p *Profiler) Option { return core.WithProfile(p) }
+
+// NewProfiler returns an empty profiler. Attach it with WithProfile.
+func NewProfiler(o ProfileOptions) *Profiler { return profile.New(o) }
+
+// ParseWatch parses a -watch style watchpoint spec: addr[:len][:r|w|rw],
+// addresses in task-logical space (hex accepted with 0x prefix).
+func ParseWatch(s string) (Watchpoint, error) { return profile.ParseWatch(s) }
 
 // Assemble compiles AVR assembly source into a program image.
 func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
