@@ -10,6 +10,9 @@
 #   make bench          run the seven benchmarks profiled vs unprofiled and
 #                       regenerate BENCH_profile.json
 #   make bench-parallel regenerate BENCH_parallel.json
+#   make bench-interp   regenerate BENCH_interp.json (checked vs fast
+#                       interpreter throughput) and gate it against the
+#                       committed BENCH_interp.baseline.json
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -23,9 +26,9 @@ KERNEL_COVER_FLOOR = 78
 MCU_COVER_FLOOR = 70
 PROFILE_COVER_FLOOR = 75
 
-.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel
+.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp
 
-ci: fmt-check vet build test cover fuzz
+ci: fmt-check vet build test cover fuzz bench-interp
 
 build:
 	$(GO) build ./...
@@ -59,6 +62,13 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/sensmart-bench -exp profilebench -out BENCH_profile.json
+	$(MAKE) bench-interp
 
 bench-parallel:
 	$(GO) run ./cmd/sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
+
+# The interp gate is host-relative where it can be (the suite-aggregate
+# fast/checked speedup must stay >= 1.1x) and uses a wide tolerance band on
+# the absolute MIPS floor so a slower CI host doesn't flake the build.
+bench-interp:
+	$(GO) run ./cmd/sensmart-bench -exp interp -reps 5 -out BENCH_interp.json -baseline BENCH_interp.baseline.json

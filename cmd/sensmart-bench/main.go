@@ -13,6 +13,8 @@
 //	sensmart-bench -exp hotspots -profile hotspots.pb.gz -folded hotspots.folded
 //	sensmart-bench -exp profilebench -out BENCH_profile.json
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
+//	sensmart-bench -exp interp -out BENCH_interp.json
+//	sensmart-bench -exp interp -baseline BENCH_interp.baseline.json
 //
 // Sweeps fan out to -parallel workers (default GOMAXPROCS); each sweep
 // point runs on a machine of its own and results merge in sweep order, so
@@ -45,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
@@ -56,6 +58,9 @@ func run(args []string) error {
 	reps := fs.Int("reps", 3, "with -exp profilebench: timing repetitions (best-of)")
 	traceOut := fs.String("trace", "", "with -exp overhead: run all seven kernel benchmarks as one traced multitask workload and write Chrome trace_event JSON here (load in ui.perfetto.dev)")
 	metrics := fs.Bool("metrics", false, "with -exp overhead: print the traced multitask workload's kernel metrics snapshot")
+	baseline := fs.String("baseline", "", "with -exp interp: gate the fresh results against this committed BENCH_interp baseline")
+	minSpeedup := fs.Float64("min-speedup", 1.1, "with -exp interp -baseline: required suite-aggregate fast/checked speedup (checked mode shares the predecoded cache, so this gates the run-loop structure, not the full gain over the pre-predecode interpreter)")
+	tolerance := fs.Float64("tolerance", 50, "with -exp interp -baseline: allowed %% drop of serial fast MIPS below the baseline (wide band: absolute MIPS is host-dependent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,6 +221,42 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n%s", path, data)
+			return nil
+		},
+		"interp": func() error {
+			b, err := experiment.BenchInterp(*reps, *parallel)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_interp.json"
+			}
+			data, err := json.MarshalIndent(b, "", "  ")
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n%s", path, data)
+			if *baseline == "" {
+				return nil
+			}
+			raw, err := os.ReadFile(*baseline)
+			if err != nil {
+				return err
+			}
+			var base experiment.InterpBench
+			if err := json.Unmarshal(raw, &base); err != nil {
+				return fmt.Errorf("baseline %s: %w", *baseline, err)
+			}
+			if err := experiment.CheckInterpBaseline(b, &base, *minSpeedup, *tolerance); err != nil {
+				return err
+			}
+			fmt.Printf("interp gate: ok (suite speedup %.2fx, serial %.1f MIPS vs baseline %.1f MIPS)\n",
+				b.SuiteSpeedup, b.SerialFastMIPS, base.SerialFastMIPS)
 			return nil
 		},
 		"benchparallel": func() error {

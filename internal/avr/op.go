@@ -242,6 +242,20 @@ var opTable = [opCount]opInfo{
 	OpKtrap:   {"ktrap", 2, 1},
 }
 
+// NumOps bounds dispatch tables indexed by Op (OpInvalid included).
+const NumOps = int(opCount)
+
+// Meta returns the instruction size in words and the base cycle count in a
+// single table lookup — the predecoding interpreter's fetch-time accessor,
+// which avoids paying two Valid-checked lookups per instruction.
+func (op Op) Meta() (words, cycles int) {
+	if !op.Valid() {
+		return 0, 0
+	}
+	info := &opTable[op]
+	return int(info.words), int(info.cycles)
+}
+
 // String returns the canonical lower-case mnemonic.
 func (op Op) String() string {
 	if op >= opCount || opTable[op].name == "" {

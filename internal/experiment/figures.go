@@ -107,8 +107,8 @@ func figure5Row(kb progs.KernelBenchmark) ([]string, error) {
 	// Split the SenSmart overhead: memory protection (address
 	// translation and SP services) versus everything else.
 	memProt := uint64(0)
-	for class, n := range run.K.Stats.ServiceCalls {
-		switch class {
+	for i, n := range run.K.Stats.ServiceCalls {
+		switch rewriter.Class(i) {
 		case rewriter.ClassDirectIO:
 			memProt += n * kernel.CostDirectIO
 		case rewriter.ClassDirectMem:

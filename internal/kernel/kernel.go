@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/avr"
 	"repro/internal/mcu"
 	"repro/internal/profile"
 	"repro/internal/rewriter"
@@ -98,7 +99,11 @@ type Stats struct {
 	Relocations     int
 	RelocatedBytes  uint64
 	Terminations    int
-	ServiceCalls    map[rewriter.Class]uint64
+	// ServiceCalls counts KTRAP dispatches by service class. A flat array
+	// (indexed by rewriter.Class) rather than a map: the increment sits on
+	// the per-trap hot path, and kernel benchmarks trap every few
+	// instructions.
+	ServiceCalls [numClasses]uint64
 	// ServiceCycles is the total cycles charged while servicing each class
 	// (native instruction cycles plus kernel overhead, net of the one-cycle
 	// KTRAP fetch and of relocation/switch/idle costs, which are accounted
@@ -158,7 +163,27 @@ type Kernel struct {
 type trapRef struct {
 	prog  *loadedProg
 	patch *rewriter.Patch
+
+	// Hot fields flattened from prog/patch at load time: a trap dispatch is
+	// one KTRAP per few application instructions under naturalized code, so
+	// the common services (branches above all) must not chase pointers for
+	// values that are fixed once the program is linked.
+	class     rewriter.Class
+	backward  bool
+	brKind    uint8 // branch evaluation: brAlways, brSet (BRBS), brClr (BRBC)
+	brMask    byte  // SREG mask for brSet/brClr
+	baseCyc   uint8 // the original instruction's base cycles (charge input)
+	base      uint32
+	absNext   uint32 // base + patch.NatNext
+	absTarget uint32 // base + patch.NatTarget
 }
+
+// Branch-evaluation kinds for trapRef.brKind.
+const (
+	brAlways = iota
+	brSet
+	brClr
+)
 
 // New creates a kernel on m.
 func New(m *mcu.Machine, cfg Config) *Kernel {
@@ -177,7 +202,6 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 		appEnd:   appEnd,
 		sym:      profile.NewSymbolizer(),
 		prof:     cfg.Profile,
-		Stats:    Stats{ServiceCalls: make(map[rewriter.Class]uint64)},
 	}
 	m.SetTrapHandler(k.handleTrap)
 	if cfg.Trace != nil {
@@ -300,7 +324,21 @@ func (k *Kernel) loadProgram(nat *rewriter.Naturalized) (*loadedProg, error) {
 	k.progs = append(k.progs, lp)
 	for _, p := range nat.Patches {
 		words[p.NatPC+1] = uint16(idBase)
-		k.traps = append(k.traps, trapRef{prog: lp, patch: p})
+		ref := trapRef{
+			prog: lp, patch: p,
+			class: p.Class, backward: p.Backward,
+			baseCyc:   uint8(p.Orig.Op.BaseCycles()),
+			base:      base,
+			absNext:   base + p.NatNext,
+			absTarget: base + p.NatTarget,
+		}
+		switch p.Orig.Op {
+		case avr.OpBrbs:
+			ref.brKind, ref.brMask = brSet, 1<<(p.Orig.Src&7)
+		case avr.OpBrbc:
+			ref.brKind, ref.brMask = brClr, 1<<(p.Orig.Src&7)
+		}
+		k.traps = append(k.traps, ref)
 		idBase++
 	}
 	if err := k.M.LoadFlash(base, words); err != nil {
@@ -439,7 +477,12 @@ func (k *Kernel) Current() *Task {
 func (k *Kernel) Run(limit uint64) error {
 	m := k.M
 	for limit == 0 || m.Cycles() < limit {
-		err := m.Step()
+		// RunUntil batches execution through the machine's event-horizon
+		// fast loop (KTRAPs re-enter the kernel through the trap handler as
+		// before); it returns nil only once the limit is reached, and
+		// surfaces faults for the recovery paths below. The instruction that
+		// faulted has not advanced PC, so growth-and-retry still works.
+		err := m.RunUntil(limit)
 		if err == nil {
 			continue
 		}

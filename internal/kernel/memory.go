@@ -78,7 +78,7 @@ func (k *Kernel) growStack(t *Task, need uint16) bool {
 	// Tasks with a history of deep stacks prefer grants of half their peak
 	// at once — fewer relocation events for the same space — but fall back
 	// to the hard minimum when donors are tight.
-	want := max16(need, t.MaxStackUsed/2)
+	want := max(need, t.MaxStackUsed/2)
 	// Donor selection: the task with the most surplus stack provides half
 	// of it; trailing free memory acts as an additional donor. SenSmart is
 	// "conservative on memory relocations": a donor never gives up space
@@ -94,7 +94,7 @@ func (k *Kernel) growStack(t *Task, need uint16) bool {
 		// The floor keeps half the donor's historical peak (plus margin):
 		// enough hysteresis to avoid thrashing, while still letting tasks
 		// time-share stack space their deep phases need only transiently.
-		floor := max16(r.StackUsed(), r.MaxStackUsed/2) + 16
+		floor := max(r.StackUsed(), r.MaxStackUsed/2) + 16
 		if r.StackAlloc() > floor {
 			if headroom := r.StackAlloc() - floor; avail > headroom {
 				avail = headroom
@@ -110,7 +110,7 @@ func (k *Kernel) growStack(t *Task, need uint16) bool {
 	trailingDelta := trailing
 	if trailingDelta > 4*want && trailingDelta > 64 {
 		// Don't hand a single task all remaining memory at once.
-		trailingDelta = max16(4*want, 64)
+		trailingDelta = max(4*want, 64)
 	}
 	// Prefer a donor that covers the comfortable grant; accept one that
 	// covers the hard minimum; otherwise give up.
@@ -267,11 +267,4 @@ func (k *Kernel) faultTask(t *Task, logical uint16) {
 	}
 	k.terminate(t, fmt.Sprintf("invalid logical address %#x at pc %#x in %s",
 		logical, pc, k.sym.Name(pc)))
-}
-
-func max16(a, b uint16) uint16 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -21,75 +21,75 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 	if t == nil {
 		return fmt.Errorf("kernel: trap %d with no current task", id)
 	}
-	ref := k.traps[id]
-	if ref.prog.base != t.Base {
+	ref := &k.traps[id]
+	if ref.base != t.Base {
 		// The task jumped into another program's code: isolation violation.
 		k.terminate(t, "control transfer into foreign program")
 		return nil
 	}
-	p := ref.patch
-	base := ref.prog.base
-	k.Stats.ServiceCalls[p.Class]++
-	t.ServiceCalls[p.Class]++
+	k.Stats.ServiceCalls[ref.class]++
+	t.ServiceCalls[ref.class]++
 
 	// The hardware SP is authoritative while the task runs natively.
 	t.spPhys = m.SP()
 	t.noteStackUse()
 
 	r := k.Cfg.Trace
+	if r == nil {
+		return k.dispatch(t, ref)
+	}
 	site := m.PC()
-	if r != nil {
-		back := uint64(0)
-		if p.Class == rewriter.ClassBranch && p.Backward {
-			back = 1
-		}
-		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapEnter,
-			Task: int32(t.ID), Arg: uint64(p.Class), Arg2: back, PC: site})
+	back := uint64(0)
+	if ref.class == rewriter.ClassBranch && ref.backward {
+		back = 1
 	}
-	before := k.Stats.ServiceCycles[p.Class]
-	err := k.dispatch(t, p, base)
-	if r != nil {
-		// Arg2 is the cycles the service proper charged; relocation, switch
-		// and idle cycles inside the window carry their own events, so the
-		// enter-to-exit clock delta decomposes exactly (see trace_cost_test).
-		r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapExit,
-			Task: int32(t.ID), Arg: uint64(p.Class),
-			Arg2: k.Stats.ServiceCycles[p.Class] - before, PC: site})
-	}
+	r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapEnter,
+		Task: int32(t.ID), Arg: uint64(ref.class), Arg2: back, PC: site})
+	before := k.Stats.ServiceCycles[ref.class]
+	err := k.dispatch(t, ref)
+	// Arg2 is the cycles the service proper charged; relocation, switch
+	// and idle cycles inside the window carry their own events, so the
+	// enter-to-exit clock delta decomposes exactly (see trace_cost_test).
+	r.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindTrapExit,
+		Task: int32(t.ID), Arg: uint64(ref.class),
+		Arg2: k.Stats.ServiceCycles[ref.class] - before, PC: site})
 	return err
 }
 
 // dispatch routes one validated trap to its service and charges the Table II
 // cycle cost. On return the machine PC points at the continuation the
-// service chose.
-func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
+// service chose. Hot operands (class, continuation PCs, base cycles) come
+// pre-flattened in ref; the cold services read the patch itself.
+func (k *Kernel) dispatch(t *Task, ref *trapRef) error {
 	m := k.M
-	switch p.Class {
+	p := ref.patch
+	base := ref.base
+	switch ref.class {
 	case rewriter.ClassBranch:
-		k.serviceBranch(t, p, base)
+		k.serviceBranch(t, ref)
 	case rewriter.ClassCall:
-		k.charge(t, p.Class, CostStackCheck, p.Orig)
+		k.charge(t, ref.class, CostStackCheck, int(ref.baseCyc))
 		if !k.ensureStack(t, k.Cfg.RedZone+2) {
 			return nil
 		}
-		m.PushWord(uint16(base + p.NatNext))
+		m.PushWord(uint16(ref.absNext))
 		t.spPhys = m.SP()
-		m.SetPC(base + p.NatTarget)
+		m.SetPC(ref.absTarget)
 	case rewriter.ClassIndirectCall:
-		k.charge(t, p.Class, CostProgMem+CostStackCheck, p.Orig)
+		k.charge(t, ref.class, CostProgMem+CostStackCheck, int(ref.baseCyc))
 		if !k.ensureStack(t, k.Cfg.RedZone+2) {
 			return nil
 		}
 		z := m.RegPair(avr.RegZ)
-		m.PushWord(uint16(base + p.NatNext))
+		m.PushWord(uint16(ref.absNext))
 		t.spPhys = m.SP()
 		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
 	case rewriter.ClassIndirectJump:
-		k.charge(t, p.Class, CostProgMem, p.Orig)
+		k.charge(t, ref.class, CostProgMem, int(ref.baseCyc))
 		z := m.RegPair(avr.RegZ)
 		m.SetPC(base + t.Nat.Shift.Map(uint32(z)))
 	case rewriter.ClassDirectIO:
-		k.charge(t, p.Class, CostDirectIO, p.Orig)
+		k.charge(t, ref.class, CostDirectIO, int(ref.baseCyc))
 		addr := uint16(p.Orig.Imm)
 		k.watchCheck(t, addr, p.Orig.Op != avr.OpLds)
 		if p.Orig.Op == avr.OpLds {
@@ -97,66 +97,67 @@ func (k *Kernel) dispatch(t *Task, p *rewriter.Patch, base uint32) error {
 		} else {
 			m.WriteBus(addr, m.Reg(p.Orig.Dst))
 		}
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassReservedIO:
-		k.charge(t, p.Class, CostReservedIO, p.Orig)
+		k.charge(t, ref.class, CostReservedIO, int(ref.baseCyc))
 		k.watchCheck(t, uint16(p.Orig.Imm), p.Orig.Op != avr.OpLds)
 		k.serviceReservedIO(t, p.Orig)
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassDirectMem:
-		k.charge(t, p.Class, CostDirectMem, p.Orig)
+		k.charge(t, ref.class, CostDirectMem, int(ref.baseCyc))
 		if !k.serviceDirectMem(t, p.Orig) {
 			return nil
 		}
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassIndirectMem:
 		if !k.serviceIndirectMem(t, p) {
 			return nil
 		}
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassSPRead:
-		k.charge(t, p.Class, CostGetSP, p.Orig)
+		k.charge(t, ref.class, CostGetSP, int(ref.baseCyc))
 		logical := t.logicalSP()
 		v := byte(logical)
 		if p.Orig.Imm == int32(ioregs.SPH) {
 			v = byte(logical >> 8)
 		}
 		m.SetReg(p.Orig.Dst, v)
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassSPWrite:
-		k.charge(t, p.Class, CostSetSP, p.Orig)
+		k.charge(t, ref.class, CostSetSP, int(ref.baseCyc))
 		if !k.serviceSPWrite(t, p.Orig) {
 			return nil
 		}
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassSleep:
-		k.charge(t, p.Class, CostSleep, p.Orig)
+		k.charge(t, ref.class, CostSleep, int(ref.baseCyc))
 		t.state = TaskSleeping
 		t.wakeAt = m.Cycles() + k.Cfg.SleepQuantum
 		if k.Cfg.Trace != nil {
 			k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindSleep,
 				Task: int32(t.ID), Arg: t.wakeAt})
 		}
-		k.schedule(base + p.NatNext)
+		k.schedule(ref.absNext)
 	case rewriter.ClassLpm:
-		k.charge(t, p.Class, CostProgMem, p.Orig)
+		k.charge(t, ref.class, CostProgMem, int(ref.baseCyc))
 		k.serviceLpm(t, p.Orig, base)
-		m.SetPC(base + p.NatNext)
+		m.SetPC(ref.absNext)
 	case rewriter.ClassExit:
 		k.terminate(t, "exited")
 	default:
-		return fmt.Errorf("kernel: unhandled service class %v", p.Class)
+		return fmt.Errorf("kernel: unhandled service class %v", ref.class)
 	}
 	return nil
 }
 
-// charge accounts a service: the original instruction's own cycles plus the
-// kernel overhead, minus the one cycle the KTRAP fetch already cost. The
-// per-class ledgers record the in-window charge (ServiceCycles) and the
-// Table II overhead alone (ServiceOverhead); the latter also accrues on the
-// task, attributing kernel time to who caused it.
-func (k *Kernel) charge(t *Task, class rewriter.Class, overhead int, orig avr.Inst) {
-	total := orig.Op.BaseCycles() + overhead - 1
+// charge accounts a service: the original instruction's own cycles
+// (baseCycles, precomputed into the trap ref) plus the kernel overhead,
+// minus the one cycle the KTRAP fetch already cost. The per-class ledgers
+// record the in-window charge (ServiceCycles) and the Table II overhead
+// alone (ServiceOverhead); the latter also accrues on the task, attributing
+// kernel time to who caused it.
+func (k *Kernel) charge(t *Task, class rewriter.Class, overhead, baseCycles int) {
+	total := baseCycles + overhead - 1
 	charged := uint64(0)
 	if total > 0 {
 		charged = uint64(total)
@@ -181,26 +182,28 @@ func (k *Kernel) chargeExtra(class rewriter.Class, n uint64) {
 
 // serviceBranch implements the patched-branch service: evaluate the branch
 // against live flags, count backward branches toward the 1-of-256 software
-// trap, and preempt when the time slice has expired (Section IV-B).
-func (k *Kernel) serviceBranch(t *Task, p *rewriter.Patch, base uint32) {
+// trap, and preempt when the time slice has expired (Section IV-B). It is
+// the hottest service by far — every patched branch traps — so it runs
+// entirely off the flattened trap ref.
+func (k *Kernel) serviceBranch(t *Task, ref *trapRef) {
 	m := k.M
-	k.charge(t, p.Class, CostBranchTrap, p.Orig)
+	k.charge(t, rewriter.ClassBranch, CostBranchTrap, int(ref.baseCyc))
 	taken := true
-	switch p.Orig.Op {
-	case avr.OpBrbs:
-		taken = m.SREG()&(1<<p.Orig.Src) != 0
-	case avr.OpBrbc:
-		taken = m.SREG()&(1<<p.Orig.Src) == 0
+	switch ref.brKind {
+	case brSet:
+		taken = m.SREG()&ref.brMask != 0
+	case brClr:
+		taken = m.SREG()&ref.brMask == 0
 	}
-	next := base + p.NatNext
+	next := ref.absNext
 	if taken {
-		next = base + p.NatTarget
-		k.chargeExtra(p.Class, 1) // branch-taken penalty, as on hardware
+		next = ref.absTarget
+		k.chargeExtra(rewriter.ClassBranch, 1) // branch-taken penalty, as on hardware
 		if k.prof != nil {
 			k.prof.OnAppExtra(int32(t.ID), m.PC(), 1)
 		}
 	}
-	if p.Backward {
+	if ref.backward {
 		k.Stats.BranchTraps++
 		if t.branchLeft--; t.branchLeft == 0 {
 			t.branchLeft = k.Cfg.BranchInterval

@@ -1,402 +1,32 @@
 package mcu
 
-import "repro/internal/avr"
-
-// exec executes one decoded instruction and advances PC and the cycle count.
-func (m *Machine) exec(in avr.Inst) error {
-	d := in.Dst
-	words := uint32(in.Op.Words())
-	next := m.pc + words
-	m.cycle += uint64(in.Op.BaseCycles())
-
-	switch in.Op {
-	case avr.OpNop, avr.OpWdr:
-		// nothing
-
-	case avr.OpSleep:
-		m.sleeping = true
-
-	case avr.OpBreak:
-		return m.faultf(FaultBreak, 0, "bare break")
-
-	case avr.OpKtrap:
-		if m.trap == nil {
-			return m.faultf(FaultTrap, 0, "no kernel attached")
-		}
-		// The handler sets PC and charges kernel cycles itself.
-		if err := m.trap(m, uint16(in.Imm)); err != nil {
-			if m.fault == nil {
-				m.faultf(FaultTrap, 0, err.Error())
-			}
-			return m.fault
-		}
-		return nil
-
-	case avr.OpAdd, avr.OpAdc:
-		a, b := m.data[d], m.data[in.Src]
-		r := a + b
-		if in.Op == avr.OpAdc && m.data[addrSREG]&flagC != 0 {
-			r++
-		}
-		m.data[d] = r
-		m.data[addrSREG] = addFlags(a, b, r, m.data[addrSREG])
-
-	case avr.OpSub, avr.OpCp:
-		a, b := m.data[d], m.data[in.Src]
-		r := a - b
-		if in.Op == avr.OpSub {
-			m.data[d] = r
-		}
-		m.data[addrSREG] = subFlags(a, b, r, m.data[addrSREG], false)
-
-	case avr.OpSbc, avr.OpCpc:
-		a, b := m.data[d], m.data[in.Src]
-		r := a - b
-		if m.data[addrSREG]&flagC != 0 {
-			r--
-		}
-		if in.Op == avr.OpSbc {
-			m.data[d] = r
-		}
-		m.data[addrSREG] = subFlags(a, b, r, m.data[addrSREG], true)
-
-	case avr.OpSubi, avr.OpCpi:
-		a, b := m.data[d], byte(in.Imm)
-		r := a - b
-		if in.Op == avr.OpSubi {
-			m.data[d] = r
-		}
-		m.data[addrSREG] = subFlags(a, b, r, m.data[addrSREG], false)
-
-	case avr.OpSbci:
-		a, b := m.data[d], byte(in.Imm)
-		r := a - b
-		if m.data[addrSREG]&flagC != 0 {
-			r--
-		}
-		m.data[d] = r
-		m.data[addrSREG] = subFlags(a, b, r, m.data[addrSREG], true)
-
-	case avr.OpAnd:
-		r := m.data[d] & m.data[in.Src]
-		m.data[d] = r
-		m.data[addrSREG] = logicFlags(r, m.data[addrSREG])
-	case avr.OpAndi:
-		r := m.data[d] & byte(in.Imm)
-		m.data[d] = r
-		m.data[addrSREG] = logicFlags(r, m.data[addrSREG])
-	case avr.OpOr:
-		r := m.data[d] | m.data[in.Src]
-		m.data[d] = r
-		m.data[addrSREG] = logicFlags(r, m.data[addrSREG])
-	case avr.OpOri:
-		r := m.data[d] | byte(in.Imm)
-		m.data[d] = r
-		m.data[addrSREG] = logicFlags(r, m.data[addrSREG])
-	case avr.OpEor:
-		r := m.data[d] ^ m.data[in.Src]
-		m.data[d] = r
-		m.data[addrSREG] = logicFlags(r, m.data[addrSREG])
-
-	case avr.OpMov:
-		m.data[d] = m.data[in.Src]
-	case avr.OpMovw:
-		m.data[d] = m.data[in.Src]
-		m.data[d+1] = m.data[in.Src+1]
-	case avr.OpLdi:
-		m.data[d] = byte(in.Imm)
-
-	case avr.OpCom:
-		r := ^m.data[d]
-		m.data[d] = r
-		s := logicFlags(r, m.data[addrSREG]) | flagC
-		m.data[addrSREG] = nzs(s, r)
-	case avr.OpNeg:
-		a := m.data[d]
-		r := -a
-		m.data[d] = r
-		s := m.data[addrSREG] &^ (flagH | flagS | flagV | flagN | flagZ | flagC)
-		if r != 0 {
-			s |= flagC
-		}
-		if r == 0x80 {
-			s |= flagV
-		}
-		if (r|a)&0x08 != 0 {
-			s |= flagH
-		}
-		m.data[addrSREG] = nzs(s, r)
-	case avr.OpSwap:
-		m.data[d] = m.data[d]<<4 | m.data[d]>>4
-	case avr.OpInc:
-		r := m.data[d] + 1
-		m.data[d] = r
-		s := m.data[addrSREG] &^ (flagS | flagV | flagN | flagZ)
-		if r == 0x80 {
-			s |= flagV
-		}
-		m.data[addrSREG] = nzs(s, r)
-	case avr.OpDec:
-		r := m.data[d] - 1
-		m.data[d] = r
-		s := m.data[addrSREG] &^ (flagS | flagV | flagN | flagZ)
-		if r == 0x7F {
-			s |= flagV
-		}
-		m.data[addrSREG] = nzs(s, r)
-	case avr.OpAsr:
-		a := m.data[d]
-		r := a>>1 | a&0x80
-		m.data[d] = r
-		m.data[addrSREG] = shiftFlags(a, r, m.data[addrSREG])
-	case avr.OpLsr:
-		a := m.data[d]
-		r := a >> 1
-		m.data[d] = r
-		m.data[addrSREG] = shiftFlags(a, r, m.data[addrSREG])
-	case avr.OpRor:
-		a := m.data[d]
-		r := a >> 1
-		if m.data[addrSREG]&flagC != 0 {
-			r |= 0x80
-		}
-		m.data[d] = r
-		m.data[addrSREG] = shiftFlags(a, r, m.data[addrSREG])
-
-	case avr.OpMul:
-		p := uint16(m.data[d]) * uint16(m.data[in.Src])
-		m.data[0] = byte(p)
-		m.data[1] = byte(p >> 8)
-		s := m.data[addrSREG] &^ (flagC | flagZ)
-		if p&0x8000 != 0 {
-			s |= flagC
-		}
-		if p == 0 {
-			s |= flagZ
-		}
-		m.data[addrSREG] = s
-
-	case avr.OpAdiw, avr.OpSbiw:
-		v := m.RegPair(d)
-		var r uint16
-		s := m.data[addrSREG] &^ (flagS | flagV | flagN | flagZ | flagC)
-		if in.Op == avr.OpAdiw {
-			r = v + uint16(in.Imm)
-			if r&0x8000 != 0 && v&0x8000 == 0 {
-				s |= flagV
-			}
-			if r&0x8000 == 0 && v&0x8000 != 0 {
-				s |= flagC
-			}
-		} else {
-			r = v - uint16(in.Imm)
-			if r&0x8000 == 0 && v&0x8000 != 0 {
-				s |= flagV
-			}
-			if r&0x8000 != 0 && v&0x8000 == 0 {
-				s |= flagC
-			}
-		}
-		m.SetRegPair(d, r)
-		if r == 0 {
-			s |= flagZ
-		}
-		if r&0x8000 != 0 {
-			s |= flagN
-		}
-		n, vf := s&flagN != 0, s&flagV != 0
-		if n != vf {
-			s |= flagS
-		}
-		m.data[addrSREG] = s
-
-	case avr.OpBset:
-		m.data[addrSREG] |= 1 << d
-	case avr.OpBclr:
-		m.data[addrSREG] &^= 1 << d
-
-	case avr.OpRjmp:
-		next = uint32(int64(m.pc) + 1 + int64(in.Imm))
-	case avr.OpRcall:
-		m.pushWord(uint16(next))
-		next = uint32(int64(m.pc) + 1 + int64(in.Imm))
-	case avr.OpJmp:
-		next = uint32(in.Imm)
-	case avr.OpCall:
-		m.pushWord(uint16(next))
-		next = uint32(in.Imm)
-	case avr.OpIjmp:
-		next = uint32(m.RegPair(avr.RegZ))
-	case avr.OpIcall:
-		m.pushWord(uint16(next))
-		next = uint32(m.RegPair(avr.RegZ))
-	case avr.OpRet:
-		next = uint32(m.popWord())
-	case avr.OpReti:
-		next = uint32(m.popWord())
-		m.data[addrSREG] |= flagI
-
-	case avr.OpBrbs:
-		if m.data[addrSREG]&(1<<in.Src) != 0 {
-			next = uint32(int64(m.pc) + 1 + int64(in.Imm))
-			m.cycle++
-		}
-	case avr.OpBrbc:
-		if m.data[addrSREG]&(1<<in.Src) == 0 {
-			next = uint32(int64(m.pc) + 1 + int64(in.Imm))
-			m.cycle++
-		}
-
-	case avr.OpCpse:
-		if m.data[d] == m.data[in.Src] {
-			next = m.skip(next)
-		}
-	case avr.OpSbrc:
-		if m.data[d]&(1<<uint(in.Imm)) == 0 {
-			next = m.skip(next)
-		}
-	case avr.OpSbrs:
-		if m.data[d]&(1<<uint(in.Imm)) != 0 {
-			next = m.skip(next)
-		}
-	case avr.OpSbic:
-		if m.readIO(uint16(d)+IOBase)&(1<<uint(in.Imm)) == 0 {
-			next = m.skip(next)
-		}
-	case avr.OpSbis:
-		if m.readIO(uint16(d)+IOBase)&(1<<uint(in.Imm)) != 0 {
-			next = m.skip(next)
-		}
-
-	case avr.OpIn:
-		m.data[d] = m.readIO(uint16(in.Imm) + IOBase)
-	case avr.OpOut:
-		m.writeIO(uint16(in.Imm)+IOBase, m.data[d])
-	case avr.OpSbi:
-		a := uint16(d) + IOBase
-		m.writeIO(a, m.readIO(a)|1<<uint(in.Imm))
-	case avr.OpCbi:
-		a := uint16(d) + IOBase
-		m.writeIO(a, m.readIO(a)&^(1<<uint(in.Imm)))
-
-	case avr.OpLds:
-		v, err := m.loadByte(uint16(in.Imm))
-		if err != nil {
-			return err
-		}
-		m.data[d] = v
-	case avr.OpSts:
-		if err := m.storeByte(uint16(in.Imm), m.data[d]); err != nil {
-			return err
-		}
-
-	case avr.OpLdX, avr.OpLdXInc, avr.OpLdXDec, avr.OpLdYInc, avr.OpLdYDec,
-		avr.OpLddY, avr.OpLdZInc, avr.OpLdZDec, avr.OpLddZ:
-		addr, ptr, wb := m.indirectAddr(in)
-		v, err := m.loadByte(addr)
-		if err != nil {
-			return err
-		}
-		m.data[d] = v
-		if wb {
-			m.SetRegPair(ptr, m.wbVal)
-		}
-
-	case avr.OpStX, avr.OpStXInc, avr.OpStXDec, avr.OpStYInc, avr.OpStYDec,
-		avr.OpStdY, avr.OpStZInc, avr.OpStZDec, avr.OpStdZ:
-		addr, ptr, wb := m.indirectAddr(in)
-		if err := m.storeByte(addr, m.data[d]); err != nil {
-			return err
-		}
-		if wb {
-			m.SetRegPair(ptr, m.wbVal)
-		}
-
-	case avr.OpPush:
-		m.pushByte(m.data[d])
-	case avr.OpPop:
-		m.data[d] = m.popByte()
-
-	case avr.OpLpm:
-		m.data[0] = m.flashByte(uint32(m.RegPair(avr.RegZ)))
-	case avr.OpLpmZ:
-		m.data[d] = m.flashByte(uint32(m.RegPair(avr.RegZ)))
-	case avr.OpLpmZInc:
-		z := m.RegPair(avr.RegZ)
-		m.data[d] = m.flashByte(uint32(z))
-		m.SetRegPair(avr.RegZ, z+1)
-
-	default:
-		return m.faultf(FaultBadInst, 0, "unimplemented op "+in.Op.String())
-	}
-
-	if m.fault != nil {
-		return m.fault
-	}
-	m.pc = next & (FlashWords - 1)
-	return nil
-}
-
-// shiftFlags computes SREG for ASR/LSR/ROR.
+// shiftFlags computes SREG for ASR/LSR/ROR, branch-free like the helpers in
+// flags.go: C is the shifted-out bit, V = N ^ C, and S = N ^ V = C.
 func shiftFlags(a, r byte, sreg byte) byte {
 	sreg &^= flagS | flagV | flagN | flagZ | flagC
-	if a&1 != 0 {
-		sreg |= flagC
+	c := a & 1
+	n := r >> 7
+	var z byte
+	if r == 0 {
+		z = flagZ
 	}
-	sreg = nzs(sreg, r)
-	// V = N ^ C after the shift.
-	n := sreg&flagN != 0
-	c := sreg&flagC != 0
-	if n != c {
-		sreg |= flagV
-	} else {
-		sreg &^= flagV
-	}
-	// S = N ^ V must be refreshed after V changed.
-	v := sreg&flagV != 0
-	if n != v {
-		sreg |= flagS
-	} else {
-		sreg &^= flagS
-	}
-	return sreg
-}
-
-// wbVal carries the pointer write-back value from indirectAddr to exec.
-// (kept on the machine to avoid returning three values plus a bool).
-
-// indirectAddr computes the effective address for an indirect load/store and
-// the pointer write-back, if any.
-func (m *Machine) indirectAddr(in avr.Inst) (addr uint16, ptr uint8, writeback bool) {
-	ptr, _ = in.PointerReg()
-	v := m.RegPair(ptr)
-	switch in.Op {
-	case avr.OpLdXInc, avr.OpLdYInc, avr.OpLdZInc,
-		avr.OpStXInc, avr.OpStYInc, avr.OpStZInc:
-		m.wbVal = v + 1
-		return v, ptr, true
-	case avr.OpLdXDec, avr.OpLdYDec, avr.OpLdZDec,
-		avr.OpStXDec, avr.OpStYDec, avr.OpStZDec:
-		v--
-		m.wbVal = v
-		return v, ptr, true
-	case avr.OpLddY, avr.OpLddZ, avr.OpStdY, avr.OpStdZ:
-		return v + uint16(in.Imm), ptr, false
-	default: // plain LD/ST X
-		return v, ptr, false
-	}
+	return sreg | c | z | n<<2 | (n^c)<<3 | c<<4
 }
 
 // skip advances past the next instruction (CPSE/SBRC/SBRS/SBIC/SBIS taken).
+// The length of the skipped instruction is looked up dynamically through the
+// micro-op cache — never precomputed into the skipping uop — so a LoadFlash
+// that rewrites the following word is always honoured.
 func (m *Machine) skip(next uint32) uint32 {
-	in, err := m.fetch(next)
+	u, err := m.fetchUop(next)
 	if err != nil {
 		// Undecodable skipped word: treat as one word, as hardware would.
 		m.cycle++
 		return next + 1
 	}
-	m.cycle += uint64(in.Op.Words())
-	return next + uint32(in.Op.Words())
+	w := uint32(u.in.Op.Words())
+	m.cycle += uint64(w)
+	return next + w
 }
 
 // loadByte reads data memory with device dispatch and guard checking.

@@ -12,21 +12,16 @@ const (
 	flagI byte = 1 << 7
 )
 
+// The flag helpers are branch-free: every flag is computed as a 0/1 byte and
+// shifted into place, so the hot ALU handlers stay within the inlining budget
+// and carry no data-dependent branches. The formulas are the data-sheet ones.
+
 // addFlags computes SREG for R = a + b + carryIn per the AVR data sheet.
 func addFlags(a, b, r byte, sreg byte) byte {
 	sreg &^= flagH | flagS | flagV | flagN | flagZ | flagC
-	h := (a&b | b&^r | a&^r) & 0x08
-	if h != 0 {
-		sreg |= flagH
-	}
-	c := (a&b | b&^r | a&^r) & 0x80
-	if c != 0 {
-		sreg |= flagC
-	}
-	v := (a & b &^ r) | (^a & ^b & r)
-	if v&0x80 != 0 {
-		sreg |= flagV
-	}
+	carries := a&b | b&^r | a&^r // bit 3 = H, bit 7 = C
+	v := (a&b&^r | ^a&^b&r) >> 7 // two's-complement overflow
+	sreg |= carries>>7 | carries&0x08<<2 | v<<3
 	return nzs(sreg, r)
 }
 
@@ -35,18 +30,9 @@ func addFlags(a, b, r byte, sreg byte) byte {
 func subFlags(a, b, r byte, sreg byte, keepZ bool) byte {
 	old := sreg
 	sreg &^= flagH | flagS | flagV | flagN | flagZ | flagC
-	h := (^a&b | b&r | r&^a) & 0x08
-	if h != 0 {
-		sreg |= flagH
-	}
-	c := (^a&b | b&r | r&^a) & 0x80
-	if c != 0 {
-		sreg |= flagC
-	}
-	v := (a &^ b &^ r) | (^a & b & r)
-	if v&0x80 != 0 {
-		sreg |= flagV
-	}
+	borrows := ^a&b | b&r | r&^a // bit 3 = H, bit 7 = C
+	v := (a&^b&^r | ^a&b&r) >> 7
+	sreg |= borrows>>7 | borrows&0x08<<2 | v<<3
 	sreg = nzs(sreg, r)
 	if keepZ && r == 0 {
 		// Z = Z_old & (R == 0): propagate the previous Z instead of setting.
@@ -61,20 +47,14 @@ func logicFlags(r byte, sreg byte) byte {
 	return nzs(sreg, r)
 }
 
-// nzs fills in N, Z and S=N^V from the result byte and the V already in sreg.
+// nzs fills in N, Z and S=N^V from the result byte and the V already in
+// sreg. Callers have cleared N and Z; S is set or cleared here.
 func nzs(sreg byte, r byte) byte {
+	var z byte
 	if r == 0 {
-		sreg |= flagZ
+		z = flagZ
 	}
-	if r&0x80 != 0 {
-		sreg |= flagN
-	}
-	n := sreg&flagN != 0
-	v := sreg&flagV != 0
-	if n != v {
-		sreg |= flagS
-	} else {
-		sreg &^= flagS
-	}
-	return sreg
+	n := r >> 7
+	v := sreg >> 3 & 1
+	return sreg&^flagS | z | n<<2 | (n^v)<<4
 }

@@ -70,7 +70,11 @@ type Machine struct {
 	sleeping bool
 	fault    *Fault
 	pending  uint8  // pending interrupt sources
-	wbVal    uint16 // pointer write-back scratch for indirect accesses
+	insts    uint64 // instructions executed since reset (host-MIPS metric)
+
+	// stepwise forces Run/RunUntil onto the fully-checked per-instruction
+	// Step path, disabling the event-horizon fast loop (bench comparator).
+	stepwise bool
 
 	trap TrapHandler
 
@@ -101,19 +105,21 @@ type Machine struct {
 
 	dev devices
 
-	// decode cache: code is immutable while running (the paper's
-	// no-self-modification assumption), so each flash word decodes once.
-	decoded  []avr.Inst
-	decodedB []bool
-	codeEnd  uint32 // highest loaded word + 1, for diagnostics
+	// Micro-op cache: code is immutable while running (the paper's
+	// no-self-modification assumption), so each flash word predecodes once
+	// into an executable uop (see dispatch.go). An entry whose in.Op is
+	// OpInvalid (the zero value) has not been built or was invalidated —
+	// the validity check rides on the same cache line as the entry itself.
+	// The fixed-size array lets a pc & (FlashWords-1) index elide its
+	// bounds check, and the pointer-free uop keeps the 64 Ki entries out
+	// of garbage-collector scans.
+	uops    *[FlashWords]uop
+	codeEnd uint32 // highest loaded word + 1, for diagnostics
 }
 
 // New returns a reset machine with empty flash.
 func New() *Machine {
-	m := &Machine{
-		decoded:  make([]avr.Inst, FlashWords),
-		decodedB: make([]bool, FlashWords),
-	}
+	m := &Machine{uops: new([FlashWords]uop)}
 	m.Reset()
 	return m
 }
@@ -124,6 +130,7 @@ func (m *Machine) Reset() {
 	m.pc = 0
 	m.cycle = 0
 	m.idle = 0
+	m.insts = 0
 	m.sleeping = false
 	m.fault = nil
 	m.pending = 0
@@ -138,8 +145,11 @@ func (m *Machine) LoadFlash(base uint32, words []uint16) error {
 		return fmt.Errorf("mcu: flash overflow: base %#x + %d words", base, len(words))
 	}
 	copy(m.flash[base:], words)
-	for i := range words {
-		m.decodedB[base+uint32(i)] = false
+	clear(m.uops[base : int(base)+len(words)])
+	// A cached 32-bit instruction starting at base-1 holds the old word at
+	// base as its operand word; invalidate it so the patched word is seen.
+	if base > 0 {
+		m.uops[base-1] = uop{}
 	}
 	if end := base + uint32(len(words)); end > m.codeEnd {
 		m.codeEnd = end
@@ -152,12 +162,10 @@ func (m *Machine) FlashWord(addr uint32) uint16 { return m.flash[addr&(FlashWord
 
 // SetTrapHandler installs the kernel's KTRAP entry point. Without a handler
 // BREAK decodes as plain BREAK; with one, BREAK plus its following id word
-// decodes as KTRAP (the decode cache is flushed to apply the change).
+// decodes as KTRAP (the micro-op cache is flushed to apply the change).
 func (m *Machine) SetTrapHandler(h TrapHandler) {
 	m.trap = h
-	for i := range m.decodedB {
-		m.decodedB[i] = false
-	}
+	clear(m.uops[:])
 }
 
 // SetRecorder attaches (or, with nil, detaches) the trace recorder the
@@ -299,23 +307,25 @@ func (m *Machine) faultf(kind FaultKind, addr uint16, note string) error {
 	return m.fault
 }
 
+// fetchUop returns the micro-op cache entry at word address pc, predecoding
+// the flash word on first execution.
+func (m *Machine) fetchUop(pc uint32) (*uop, error) {
+	pc &= FlashWords - 1
+	if m.uops[pc].in.Op == avr.OpInvalid {
+		if err := m.buildUop(pc); err != nil {
+			return nil, err
+		}
+	}
+	return &m.uops[pc], nil
+}
+
 // fetch returns the decoded instruction at word address pc.
 func (m *Machine) fetch(pc uint32) (avr.Inst, error) {
-	pc &= FlashWords - 1
-	if m.decodedB[pc] {
-		return m.decoded[pc], nil
-	}
-	in, err := avr.Decode(m.flash[pc:min(int(pc)+2, FlashWords)])
+	u, err := m.fetchUop(pc)
 	if err != nil {
 		return avr.Inst{}, err
 	}
-	if in.Op == avr.OpKtrap && m.trap == nil {
-		// Without a kernel, BREAK is BREAK; the next word is unrelated.
-		in = avr.Inst{Op: avr.OpBreak}
-	}
-	m.decoded[pc] = in
-	m.decodedB[pc] = true
-	return in, nil
+	return u.in, nil
 }
 
 // InstAt decodes (with caching) the instruction at word address pc. It is
@@ -325,13 +335,92 @@ func (m *Machine) InstAt(pc uint32) (avr.Inst, error) { return m.fetch(pc) }
 // Run executes until the machine faults/halts or until the cycle count
 // reaches limit (0 = no limit). It returns nil when the limit stopped it.
 func (m *Machine) Run(limit uint64) error {
-	for limit == 0 || m.cycle < limit {
-		if err := m.Step(); err != nil {
-			return err
-		}
+	if err := m.RunUntil(limit); err != nil {
+		return err
 	}
 	if m.rec != nil {
 		m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindBudget, Task: -1, Arg: limit})
+	}
+	return nil
+}
+
+// RunUntil is Run without the budget-expiry trace event (the kernel's run
+// loop emits its own). It executes the event-horizon fast loop whenever no
+// per-step check could fire: no fault, not sleeping, no pending interrupt,
+// and no profiler or recorder hook attached. Inside a horizon — up to the
+// next device event or the cycle limit — instructions dispatch straight
+// through the micro-op cache with no per-step checks at all; KTRAP and SLEEP
+// entries are marked checked and run through one Step so trap handlers and
+// the sleep path see exactly the per-Step machine state they always did.
+// Everything else (traced, profiled, stepwise, or interrupt-laden execution)
+// falls back to the fully-checked Step, whose semantics are untouched.
+func (m *Machine) RunUntil(limit uint64) error {
+	for limit == 0 || m.cycle < limit {
+		if m.fault != nil || m.sleeping || m.pending != 0 ||
+			m.stepwise || m.profInstr != nil || m.rec != nil {
+			if err := m.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		if m.cycle >= m.dev.nextEvent {
+			m.syncDevices()
+			continue
+		}
+		// Fast loop. Within the horizon nothing can set pending (syncDevices
+		// only runs once cycle reaches nextEvent, and I/O side effects that
+		// reschedule events re-check through dev.nextEvent below), so no
+		// per-instruction interrupt or device check is needed. A checked uop
+		// (KTRAP, SLEEP) executes exactly as Step would — the ladder Step
+		// runs first is all no-ops here — but the loop breaks afterwards so
+		// the fault/sleep/pending state the handler may have left behind is
+		// re-examined before the next instruction.
+		for {
+			pc := m.pc & (FlashWords - 1)
+			u := &m.uops[pc]
+			if u.in.Op == avr.OpInvalid {
+				if err := m.buildUop(pc); err != nil {
+					return m.faultf(FaultBadInst, 0, err.Error())
+				}
+			}
+			m.insts++
+			// Direct calls for the hottest opcodes (measured over the kernel
+			// benchmark suite these cover >95% of natively executed
+			// instructions). A direct call is predictable and lets the
+			// compiler inline the small handlers; everything else goes
+			// through the dispatch table exactly as before.
+			var err error
+			switch u.in.Op {
+			case avr.OpIn:
+				err = execIn(m, u)
+			case avr.OpSbrs:
+				err = execSbrs(m, u)
+			case avr.OpDec:
+				err = execDec(m, u)
+			case avr.OpAdd:
+				err = execAdd(m, u)
+			case avr.OpAdc:
+				err = execAdc(m, u)
+			case avr.OpLsr:
+				err = execLsr(m, u)
+			case avr.OpSbrc:
+				err = execSbrc(m, u)
+			case avr.OpLdi:
+				err = execLdi(m, u)
+			case avr.OpEor:
+				err = execEor(m, u)
+			case avr.OpBrbc:
+				err = execBrbc(m, u)
+			default:
+				err = dispatch[byte(u.in.Op)](m, u)
+			}
+			if err != nil {
+				return err
+			}
+			if u.checked || m.cycle >= m.dev.nextEvent || (limit != 0 && m.cycle >= limit) {
+				break
+			}
+		}
 	}
 	return nil
 }
@@ -351,22 +440,24 @@ func (m *Machine) Step() error {
 	if m.sleeping {
 		return m.advanceSleep()
 	}
-	in, err := m.fetch(m.pc)
+	u, err := m.fetchUop(m.pc)
 	if err != nil {
 		return m.faultf(FaultBadInst, 0, err.Error())
 	}
+	m.insts++
+	fn := dispatch[byte(u.in.Op)]
 	if m.profInstr == nil {
-		return m.exec(in)
+		return fn(m, u)
 	}
-	if in.Op == avr.OpKtrap {
+	if u.in.Op == avr.OpKtrap {
 		// The trap handler may switch tasks mid-exec; attribute the 1-cycle
 		// KTRAP fetch to the task that reached the trap, before dispatch.
 		// The kernel attributes the service's own charges itself.
 		m.profInstr(m.pc, m.SP(), 1)
-		return m.exec(in)
+		return fn(m, u)
 	}
 	pc, before := m.pc, m.cycle
-	err = m.exec(in)
+	err = fn(m, u)
 	m.profInstr(pc, m.SP(), m.cycle-before)
 	return err
 }
@@ -414,12 +505,15 @@ func (m *Machine) advanceSleep() error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+// Instructions returns the number of instructions executed since reset
+// (interrupt deliveries and sleep advances excluded) — the numerator of the
+// host-MIPS throughput metric.
+func (m *Machine) Instructions() uint64 { return m.insts }
+
+// SetStepwise forces Run and RunUntil onto the fully-checked per-instruction
+// Step path, disabling the event-horizon fast loop. The benchmark harness
+// uses it as the before/after comparator; both modes are cycle-identical.
+func (m *Machine) SetStepwise(v bool) { m.stepwise = v }
 
 // ClearFault clears a recorded fault so a supervising kernel can recover
 // (e.g. grow a task's stack after a guard trip and retry the instruction;

@@ -12,6 +12,7 @@ package progs
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/avr/asm"
 	"repro/internal/image"
@@ -478,16 +479,33 @@ type KernelBenchmark struct {
 	Program *image.Program
 }
 
+// kernelBench memoizes the assembled benchmark suite: the sources are
+// constant, so the assembler runs once per process instead of once per sweep
+// point. KernelBenchmarks hands out clones so callers can keep mutating
+// their copies.
+var kernelBench = struct {
+	once sync.Once
+	list []KernelBenchmark
+}{}
+
 // KernelBenchmarks returns the seven kernel benchmark programs of Figure 4
-// and Figure 5 with their default workload sizes.
+// and Figure 5 with their default workload sizes. Each call returns fresh
+// program clones backed by a one-time assembly.
 func KernelBenchmarks() []KernelBenchmark {
-	return []KernelBenchmark{
-		{"am", AM(40)},
-		{"amplitude", Amplitude(400)},
-		{"crc", CRC(120)},
-		{"eventchain", EventChain(600)},
-		{"lfsr", LFSR(30000)},
-		{"readadc", ReadADC(400)},
-		{"timer", Timer(40)},
+	kernelBench.once.Do(func() {
+		kernelBench.list = []KernelBenchmark{
+			{"am", AM(40)},
+			{"amplitude", Amplitude(400)},
+			{"crc", CRC(120)},
+			{"eventchain", EventChain(600)},
+			{"lfsr", LFSR(30000)},
+			{"readadc", ReadADC(400)},
+			{"timer", Timer(40)},
+		}
+	})
+	out := make([]KernelBenchmark, len(kernelBench.list))
+	for i, kb := range kernelBench.list {
+		out[i] = KernelBenchmark{Name: kb.Name, Program: kb.Program.Clone()}
 	}
+	return out
 }

@@ -143,6 +143,19 @@ type Trampoline struct {
 	Sites int // how many patch sites share it
 }
 
+// Clone returns an independent copy of the naturalized program, for handing
+// one cached rewrite to many concurrent sweep points. The image (which the
+// kernel links against a flash base) is deep-copied; Patches, the shift
+// table, and Orig are immutable after Rewrite and are shared.
+func (n *Naturalized) Clone() *Naturalized {
+	c := *n
+	c.Program = n.Program.Clone()
+	c.Patches = append([]*Patch(nil), n.Patches...)
+	c.Relocs = append([]uint32(nil), n.Relocs...)
+	c.Trampolines = append([]Trampoline(nil), n.Trampolines...)
+	return &c
+}
+
 // Config controls rewriting. The zero value gives the paper's behaviour.
 type Config struct {
 	// NoGrouping disables the grouped-memory-access optimization
