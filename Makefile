@@ -13,6 +13,9 @@
 #   make bench-interp   regenerate BENCH_interp.json (checked vs fast
 #                       interpreter throughput) and gate it against the
 #                       committed BENCH_interp.baseline.json
+#   make bench-diff     diff BENCH_interp.json against the committed
+#                       baseline with the schema-aware comparator; fails on
+#                       out-of-band regressions
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -25,10 +28,11 @@ FUZZTIME ?= 10s
 KERNEL_COVER_FLOOR = 78
 MCU_COVER_FLOOR = 70
 PROFILE_COVER_FLOOR = 75
+TELEMETRY_COVER_FLOOR = 75
 
-.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp
+.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp bench-diff
 
-ci: fmt-check vet build test cover fuzz bench-interp
+ci: fmt-check vet build test cover fuzz bench-interp bench-diff
 
 build:
 	$(GO) build ./...
@@ -47,7 +51,8 @@ cover:
 	}; \
 	check ./internal/kernel $(KERNEL_COVER_FLOOR); \
 	check ./internal/mcu $(MCU_COVER_FLOOR); \
-	check ./internal/profile $(PROFILE_COVER_FLOOR)
+	check ./internal/profile $(PROFILE_COVER_FLOOR); \
+	check ./internal/telemetry $(TELEMETRY_COVER_FLOOR)
 
 vet:
 	$(GO) vet ./...
@@ -72,3 +77,11 @@ bench-parallel:
 # the absolute MIPS floor so a slower CI host doesn't flake the build.
 bench-interp:
 	$(GO) run ./cmd/sensmart-bench -exp interp -reps 5 -out BENCH_interp.json -baseline BENCH_interp.baseline.json
+
+# Schema-aware cross-run diff of the freshly generated interp numbers
+# against the committed baseline. The 60% band is deliberately wide for the
+# same reason bench-interp's MIPS tolerance is: absolute wall-clock depends
+# on the host, and the hard invariants (cycle identity, suite speedup,
+# armed-telemetry overhead) are gated by bench-interp itself.
+bench-diff:
+	$(GO) run ./cmd/sensmart-bench -exp compare -old BENCH_interp.baseline.json -new BENCH_interp.json -tolerance 60

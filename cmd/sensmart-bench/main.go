@@ -15,11 +15,17 @@
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 //	sensmart-bench -exp interp -out BENCH_interp.json
 //	sensmart-bench -exp interp -baseline BENCH_interp.baseline.json
+//	sensmart-bench -exp compare -old BENCH_interp.baseline.json -new BENCH_interp.json
+//	sensmart-bench -exp fig6 -serve :8080
 //
 // Sweeps fan out to -parallel workers (default GOMAXPROCS); each sweep
 // point runs on a machine of its own and results merge in sweep order, so
 // the output is byte-identical for every worker count. -parallel 1 keeps
 // everything on one goroutine for debugging.
+//
+// Pool runs report per-point progress lines (benchmark, sweep position,
+// simulation rate) on stderr; -quiet suppresses them. -serve additionally
+// exposes the progress feed and dashboard over HTTP while sweeps run.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 
@@ -35,6 +43,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/progs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -47,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|compare|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
@@ -60,11 +69,29 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "with -exp overhead: print the traced multitask workload's kernel metrics snapshot")
 	baseline := fs.String("baseline", "", "with -exp interp: gate the fresh results against this committed BENCH_interp baseline")
 	minSpeedup := fs.Float64("min-speedup", 1.1, "with -exp interp -baseline: required suite-aggregate fast/checked speedup (checked mode shares the predecoded cache, so this gates the run-loop structure, not the full gain over the pre-predecode interpreter)")
-	tolerance := fs.Float64("tolerance", 50, "with -exp interp -baseline: allowed %% drop of serial fast MIPS below the baseline (wide band: absolute MIPS is host-dependent)")
+	tolerance := fs.Float64("tolerance", 50, "with -exp interp -baseline: allowed %% drop of serial fast MIPS below the baseline; with -exp compare: %% band inside which a metric counts as unchanged (wide band: absolute wall-clock is host-dependent)")
+	oldPath := fs.String("old", "", "with -exp compare: baseline BENCH_*.json file")
+	newPath := fs.String("new", "", "with -exp compare: fresh BENCH_*.json file of the same kind")
+	quiet := fs.Bool("quiet", false, "suppress per-point progress lines on stderr")
+	serveAddr := fs.String("serve", "", "serve the live progress feed and dashboard over HTTP on this address (e.g. :8080) while sweeps run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r := experiment.Runner{Concurrency: *parallel}
+	var sink func(string)
+	if !*quiet {
+		sink = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	progress := telemetry.NewProgress(sink)
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return err
+		}
+		srv := &telemetry.Server{Progress: progress, Title: "sensmart-bench"}
+		fmt.Fprintf(os.Stderr, "progress: dashboard on http://%s/ (also /api/progress)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
+	}
+	r := experiment.Runner{Concurrency: *parallel, Progress: progress}
 
 	runners := map[string]func() error{
 		"table1": func() error {
@@ -212,12 +239,8 @@ func run(args []string) error {
 			if path == "" {
 				path = "BENCH_profile.json"
 			}
-			data, err := json.MarshalIndent(b, "", "  ")
+			data, err := experiment.WriteBenchFile(path, b)
 			if err != nil {
-				return err
-			}
-			data = append(data, '\n')
-			if err := os.WriteFile(path, data, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n%s", path, data)
@@ -232,12 +255,8 @@ func run(args []string) error {
 			if path == "" {
 				path = "BENCH_interp.json"
 			}
-			data, err := json.MarshalIndent(b, "", "  ")
+			data, err := experiment.WriteBenchFile(path, b)
 			if err != nil {
-				return err
-			}
-			data = append(data, '\n')
-			if err := os.WriteFile(path, data, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n%s", path, data)
@@ -268,15 +287,29 @@ func run(args []string) error {
 			if path == "" {
 				path = "BENCH_parallel.json"
 			}
-			data, err := json.MarshalIndent(b, "", "  ")
+			data, err := experiment.WriteBenchFile(path, b)
 			if err != nil {
 				return err
 			}
-			data = append(data, '\n')
-			if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Printf("wrote %s\n%s", path, data)
+			return nil
+		},
+		"compare": func() error {
+			if *oldPath == "" || *newPath == "" {
+				return fmt.Errorf("-exp compare needs -old and -new BENCH_*.json files")
+			}
+			tbl, regressions, err := experiment.CompareBenchFiles(*oldPath, *newPath, *tolerance)
+			if err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n%s", path, data)
+			fmt.Print(tbl.Render())
+			if len(regressions) > 0 {
+				for _, reg := range regressions {
+					fmt.Fprintln(os.Stderr, "regression:", reg)
+				}
+				return fmt.Errorf("%d metric(s) regressed beyond ±%.0f%%", len(regressions), *tolerance)
+			}
+			fmt.Printf("compare: ok, no metric regressed beyond ±%.0f%%\n", *tolerance)
 			return nil
 		},
 	}

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
 
 func TestBenchToolRunsQuickExperiments(t *testing.T) {
 	// table1 and fig4 are cheap enough for a unit test; the heavyweight
@@ -21,5 +26,36 @@ func TestBenchToolRejectsUnknownExperiment(t *testing.T) {
 func TestBenchToolKernelOverhead(t *testing.T) {
 	if err := run([]string{"-exp", "overhead"}); err != nil {
 		t.Errorf("overhead: %v", err)
+	}
+}
+
+func TestBenchToolCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	fresh := filepath.Join(dir, "new.json")
+	payload := &experiment.ProfileBench{
+		BenchMeta: experiment.NewBenchMeta("profile", "kernel7"),
+		Benchmarks: []experiment.ProfileBenchPoint{
+			{Benchmark: "lfsr", UnprofiledMs: 10, ProfiledMs: 12},
+		},
+	}
+	if _, err := experiment.WriteBenchFile(old, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiment.WriteBenchFile(fresh, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "compare", "-old", old, "-new", fresh, "-tolerance", "10"}); err != nil {
+		t.Fatalf("identical files: %v", err)
+	}
+	payload.Benchmarks[0].ProfiledMs = 40
+	if _, err := experiment.WriteBenchFile(fresh, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "compare", "-old", old, "-new", fresh, "-tolerance", "10"}); err == nil {
+		t.Fatal("3.3x slower profiled_ms did not fail the compare gate")
+	}
+	if err := run([]string{"-exp", "compare", "-old", old}); err == nil {
+		t.Fatal("compare without -new did not error")
 	}
 }

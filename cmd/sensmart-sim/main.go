@@ -6,13 +6,17 @@
 //	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats]
 //	             [-trace out.json] [-metrics]
 //	             [-profile out.pb.gz] [-folded out.folded] [-stackrec out.csv]
-//	             [-watch addr[:len][:r|w|rw]]... file.{s,json}...
+//	             [-watch addr[:len][:r|w|rw]]...
+//	             [-serve :8080] [-telemetry out.ndjson] [-sample N]
+//	             file.{s,json}...
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/minic"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -32,6 +37,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sensmart-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// simFlags captures the parsed flag state validateFlags rules on. Keeping it
+// a plain value (counts and booleans, plus which flags were explicitly set)
+// makes the combination rules table-testable without touching the filesystem.
+type simFlags struct {
+	native    bool
+	copies    int
+	programs  int
+	profiling bool // -profile/-folded/-stackrec/-watch
+	stackrec  bool
+	trace     bool
+	metrics   bool
+	stats     bool
+	serve     bool
+	telemetry bool
+	set       map[string]bool // flags the user passed explicitly
+}
+
+// validateFlags rejects flag combinations that cannot work together, before
+// any program is loaded or simulated. -native runs bare metal with no
+// kernel, so every kernel-side observer (profiler, tracer, metrics,
+// telemetry) is rejected consistently; interval flags without the feature
+// they tune are rejected rather than silently ignored.
+func validateFlags(f simFlags) error {
+	if f.native {
+		if f.programs != 1 || f.copies != 1 {
+			return errors.New("-native runs exactly one program")
+		}
+		if f.profiling {
+			return errors.New("-profile/-folded/-stackrec/-watch need the kernel's symbolizer; drop -native")
+		}
+		if f.trace || f.metrics || f.stats {
+			return errors.New("-trace/-metrics/-stats read kernel ledgers; drop -native")
+		}
+		if f.serve || f.telemetry {
+			return errors.New("-serve/-telemetry sample kernel state; drop -native")
+		}
+	}
+	if f.set["stackevery"] && !f.stackrec {
+		return errors.New("-stackevery tunes the stack flight recorder; add -stackrec")
+	}
+	if f.set["sample"] && !f.serve && !f.telemetry {
+		return errors.New("-sample tunes the telemetry sampler; add -serve or -telemetry")
+	}
+	return nil
 }
 
 func run(args []string) error {
@@ -48,6 +99,9 @@ func run(args []string) error {
 	foldedOut := fs.String("folded", "", "attach the profiler and write folded stacks here (speedscope / flamegraph.pl)")
 	stackrecOut := fs.String("stackrec", "", "attach the profiler and write the per-task stack-depth flight recorder CSV here")
 	stackEvery := fs.Uint64("stackevery", 1024, "stack flight recorder sampling interval in cycles (with -stackrec)")
+	serve := fs.String("serve", "", "serve the live telemetry dashboard, /metrics (Prometheus), and /api/series over HTTP on this address (e.g. :8080) while the simulation runs")
+	telemetryOut := fs.String("telemetry", "", "stream telemetry samples to this file as NDJSON, one sample per line")
+	sampleEvery := fs.Uint64("sample", telemetry.DefaultEvery, "telemetry sampling interval in simulated cycles (with -serve/-telemetry)")
 	var watches []profile.Watchpoint
 	fs.Func("watch", "watch a task-logical address: addr[:len][:r|w|rw] (repeatable)", func(s string) error {
 		wp, err := profile.ParseWatch(s)
@@ -60,9 +114,26 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	profiling := *profileOut != "" || *foldedOut != "" || *stackrecOut != "" || len(watches) > 0
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: sensmart-sim [flags] file.{s,json}...")
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	sf := simFlags{
+		native:    *native,
+		copies:    *copies,
+		programs:  fs.NArg(),
+		profiling: *profileOut != "" || *foldedOut != "" || *stackrecOut != "" || len(watches) > 0,
+		stackrec:  *stackrecOut != "",
+		trace:     *traceOut != "",
+		metrics:   *metrics,
+		stats:     *stats,
+		serve:     *serve != "",
+		telemetry: *telemetryOut != "",
+		set:       set,
+	}
+	if err := validateFlags(sf); err != nil {
+		return err
 	}
 	var programs []*image.Program
 	for _, path := range fs.Args() {
@@ -74,12 +145,6 @@ func run(args []string) error {
 	}
 
 	if *native {
-		if len(programs) != 1 || *copies != 1 {
-			return errors.New("-native runs exactly one program")
-		}
-		if profiling {
-			return errors.New("-profile/-folded/-stackrec/-watch need the kernel's symbolizer; drop -native")
-		}
 		return runNative(programs[0], *cycles, *uart)
 	}
 
@@ -94,7 +159,7 @@ func run(args []string) error {
 		opts = append(opts, core.WithTrace(trace.New()))
 	}
 	var prof *profile.Profiler
-	if profiling {
+	if sf.profiling {
 		po := profile.Options{}
 		if *stackrecOut != "" {
 			po.StackInterval = *stackEvery
@@ -105,7 +170,31 @@ func run(args []string) error {
 		}
 		opts = append(opts, core.WithProfile(prof))
 	}
+	var sampler *telemetry.Sampler
+	var streamFile *os.File
+	if *serve != "" || *telemetryOut != "" {
+		topts := telemetry.Options{Every: *sampleEvery}
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				return err
+			}
+			streamFile = f
+			topts.Stream = f
+		}
+		sampler = telemetry.New(topts)
+		opts = append(opts, core.WithTelemetry(sampler))
+	}
 	sys := core.NewSystem(opts...)
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		srv := &telemetry.Server{Sampler: sampler, Title: "sensmart-sim"}
+		fmt.Printf("telemetry: dashboard on http://%s/ (also /metrics, /api/series)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
+	}
 	for _, p := range programs {
 		for c := 0; c < *copies; c++ {
 			if _, err := sys.Deploy(p); err != nil {
@@ -168,6 +257,27 @@ func run(args []string) error {
 	}
 	if *uart {
 		fmt.Printf("uart: %q\n", m.UARTOutput())
+	}
+	if sampler != nil {
+		// Capture the end-of-run state as a final sample, so exports and the
+		// dashboard include the terminal snapshot even between boundaries.
+		if _, err := sys.SampleTelemetry(); err != nil {
+			return err
+		}
+		if err := sampler.StreamErr(); err != nil {
+			return fmt.Errorf("telemetry stream: %w", err)
+		}
+		if streamFile != nil {
+			if err := streamFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("telemetry: %d samples streamed to %s (%d retained in ring)\n",
+				sampler.Total(), *telemetryOut, len(sampler.Samples()))
+		}
+	}
+	if *serve != "" {
+		fmt.Println("telemetry: run complete; serving final state (Ctrl-C to exit)")
+		select {}
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -57,6 +59,99 @@ func TestSimToolNativeRejectsMultiple(t *testing.T) {
 func TestSimToolUsage(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("expected usage error")
+	}
+}
+
+func TestValidateFlagCombos(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       simFlags
+		wantErr string // substring; "" = valid
+	}{
+		{"plain kernel run", simFlags{programs: 2, copies: 1}, ""},
+		{"native single program", simFlags{native: true, programs: 1, copies: 1}, ""},
+		{"native two programs", simFlags{native: true, programs: 2, copies: 1}, "exactly one program"},
+		{"native copies", simFlags{native: true, programs: 1, copies: 3}, "exactly one program"},
+		{"native profiling", simFlags{native: true, programs: 1, copies: 1, profiling: true}, "drop -native"},
+		{"native trace", simFlags{native: true, programs: 1, copies: 1, trace: true}, "kernel ledgers"},
+		{"native metrics", simFlags{native: true, programs: 1, copies: 1, metrics: true}, "kernel ledgers"},
+		{"native stats", simFlags{native: true, programs: 1, copies: 1, stats: true}, "kernel ledgers"},
+		{"native serve", simFlags{native: true, programs: 1, copies: 1, serve: true}, "sample kernel state"},
+		{"native telemetry stream", simFlags{native: true, programs: 1, copies: 1, telemetry: true}, "sample kernel state"},
+		{"stackevery without stackrec", simFlags{programs: 1, copies: 1,
+			set: map[string]bool{"stackevery": true}}, "add -stackrec"},
+		{"stackevery with stackrec", simFlags{programs: 1, copies: 1, profiling: true, stackrec: true,
+			set: map[string]bool{"stackevery": true, "stackrec": true}}, ""},
+		{"sample without sink", simFlags{programs: 1, copies: 1,
+			set: map[string]bool{"sample": true}}, "add -serve or -telemetry"},
+		{"sample with serve", simFlags{programs: 1, copies: 1, serve: true,
+			set: map[string]bool{"sample": true, "serve": true}}, ""},
+		{"sample with telemetry stream", simFlags{programs: 1, copies: 1, telemetry: true,
+			set: map[string]bool{"sample": true, "telemetry": true}}, ""},
+		{"serve with profiling", simFlags{programs: 1, copies: 1, serve: true, profiling: true}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.f)
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("combination accepted, want error containing %q", tc.wantErr)
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// The CLI must reject bad combinations before it touches any program file:
+// these invocations name files that do not exist, so reaching the loader
+// would surface a different (file-not-found) error.
+func TestSimToolRejectsBadCombosBeforeLoading(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-native", "-trace", "t.json", "nonexistent.s"}, "kernel ledgers"},
+		{[]string{"-native", "-serve", ":0", "nonexistent.s"}, "sample kernel state"},
+		{[]string{"-stackevery", "512", "nonexistent.s"}, "add -stackrec"},
+		{[]string{"-sample", "1000", "nonexistent.s"}, "add -serve or -telemetry"},
+		{[]string{"-native", "-profile", "p.pb.gz", "nonexistent.s"}, "drop -native"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSimToolTelemetryStream(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	out := filepath.Join(t.TempDir(), "telemetry.ndjson")
+	if err := run([]string{"-cycles", "1000000", "-copies", "2", "-telemetry", out, "-sample", "1000", src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("telemetry stream is empty")
+	}
+	for i, line := range lines {
+		var s struct {
+			Cycle uint64           `json:"cycle"`
+			Tasks []map[string]any `json:"tasks"`
+		}
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if len(s.Tasks) != 2 {
+			t.Fatalf("line %d carries %d tasks, want 2", i, len(s.Tasks))
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/profile"
 	"repro/internal/rewriter"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -67,6 +68,20 @@ func (o profileOption) apply(opts *options) { opts.kernelCfg.Profile = o.p }
 // with WithKernelConfig by passing WithProfile after it (options apply in
 // order).
 func WithProfile(p *profile.Profiler) Option { return profileOption{p} }
+
+type telemetryOption struct{ s *telemetry.Sampler }
+
+func (o telemetryOption) apply(opts *options) { opts.kernelCfg.Telemetry = o.s }
+
+// WithTelemetry attaches a cycle-domain telemetry sampler: every
+// sampler-interval simulated cycles the kernel snapshots its gauges —
+// per-task CPU share, stack depth and high-water, trap/relocation/preemption
+// counters, heap usage, idle fraction — into the sampler's ring buffer (and
+// its NDJSON stream, if one is configured). With no sampler attached the
+// machine's sampling hook stays nil and costs one pointer compare per
+// run-loop horizon. Compose with WithKernelConfig by passing WithTelemetry
+// after it (options apply in order).
+func WithTelemetry(s *telemetry.Sampler) Option { return telemetryOption{s} }
 
 // System is one node plus its build pipeline. Typical use:
 //
@@ -176,6 +191,21 @@ func (s *System) WriteTrace(w io.Writer) error {
 		ClockHz:     mcu.ClockHz,
 		ServiceName: kernel.ServiceName,
 	})
+}
+
+// Telemetry returns the attached telemetry sampler, or nil when sampling is
+// off.
+func (s *System) Telemetry() *telemetry.Sampler { return s.kernel.Cfg.Telemetry }
+
+// SampleTelemetry records one final reconciled telemetry sample stamped at
+// the current cycle — the snapshot harnesses take after Run returns so the
+// stream's last line matches Metrics. It fails when no sampler is attached.
+func (s *System) SampleTelemetry() (telemetry.Sample, error) {
+	smp, ok := s.kernel.SampleTelemetryNow()
+	if !ok {
+		return telemetry.Sample{}, errors.New("core: no telemetry sampler attached; use WithTelemetry")
+	}
+	return smp, nil
 }
 
 // Profile returns the attached profiler, or nil when profiling is off.

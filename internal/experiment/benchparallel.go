@@ -22,8 +22,7 @@ type ParallelBenchSweep struct {
 // wall-clock for the fig5 and fig6a sweeps, with enough host context
 // (GOMAXPROCS, CPU count) to interpret the speedup.
 type ParallelBench struct {
-	GOMAXPROCS  int                  `json:"gomaxprocs"`
-	NumCPU      int                  `json:"numcpu"`
+	BenchMeta
 	Workers     int                  `json:"workers"`
 	Activations int                  `json:"fig6_activations"`
 	Note        string               `json:"note,omitempty"`
@@ -38,8 +37,7 @@ func BenchParallel(workers, activations int) (*ParallelBench, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	b := &ParallelBench{
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		BenchMeta:   NewBenchMeta("parallel", "fig5+fig6a"),
 		Workers:     workers,
 		Activations: activations,
 	}

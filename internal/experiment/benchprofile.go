@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"repro/internal/kernel"
@@ -38,8 +37,7 @@ type ProfileBenchPoint struct {
 
 // ProfileBench is the BENCH_profile.json payload.
 type ProfileBench struct {
-	GOMAXPROCS         int                 `json:"gomaxprocs"`
-	NumCPU             int                 `json:"numcpu"`
+	BenchMeta
 	Reps               int                 `json:"reps"`
 	DisabledWithin5Pct bool                `json:"disabled_within_5pct"`
 	Note               string              `json:"note"`
@@ -74,9 +72,8 @@ func BenchProfile(reps int) (*ProfileBench, error) {
 		reps = 3
 	}
 	b := &ProfileBench{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Reps:       reps,
+		BenchMeta: NewBenchMeta("profile", "kernel7"),
+		Reps:      reps,
 		Note: "disabled_delta_pct compares two independent passes of the nil-hook configuration: " +
 			"the disabled hook is a single pointer compare per instruction, so its cost is bounded by this noise band",
 		DisabledWithin5Pct: true,

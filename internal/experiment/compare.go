@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchFile is one parsed BENCH_* file: its header plus exactly one typed
+// payload, selected by the header's kind (or inferred for legacy files
+// written before the header existed).
+type benchFile struct {
+	path     string
+	meta     BenchMeta
+	interp   *InterpBench
+	profile  *ProfileBench
+	parallel *ParallelBench
+}
+
+// loadBenchFile reads and type-detects one BENCH_* file.
+func loadBenchFile(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// The probe decodes only the header plus one shape-discriminating field
+	// per kind, so legacy files (schema_version 0, no kind) still classify.
+	var probe struct {
+		BenchMeta
+		SuiteSpeedup *float64        `json:"suite_speedup"`
+		Disabled     *bool           `json:"disabled_within_5pct"`
+		Sweeps       json.RawMessage `json:"sweeps"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	kind := probe.Kind
+	if kind == "" {
+		switch {
+		case probe.SuiteSpeedup != nil:
+			kind = "interp"
+		case probe.Disabled != nil:
+			kind = "profile"
+		case probe.Sweeps != nil:
+			kind = "parallel"
+		default:
+			return nil, fmt.Errorf("%s: not a recognized BENCH_* payload (no kind header and no known shape)", path)
+		}
+	}
+	f := &benchFile{path: path, meta: probe.BenchMeta}
+	f.meta.Kind = kind
+	switch kind {
+	case "interp":
+		f.interp = new(InterpBench)
+		err = json.Unmarshal(raw, f.interp)
+	case "profile":
+		f.profile = new(ProfileBench)
+		err = json.Unmarshal(raw, f.profile)
+	case "parallel":
+		f.parallel = new(ParallelBench)
+		err = json.Unmarshal(raw, f.parallel)
+	default:
+		return nil, fmt.Errorf("%s: unknown benchmark kind %q", path, kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// compareRow is one metric of one benchmark diffed across the two files.
+type compareRow struct {
+	bench  string
+	metric string
+	unit   string
+	old    float64
+	new    float64
+	// higherBetter orients the verdict: MIPS and speedups regress downward,
+	// wall-clock milliseconds regress upward.
+	higherBetter bool
+}
+
+// verdict classifies the delta against the tolerance band: moves beyond the
+// band in the bad direction regress, beyond it in the good direction
+// improve, and anything inside the band is ok.
+func (r *compareRow) verdict(tolerancePct float64) string {
+	if r.old == 0 {
+		return "n/a"
+	}
+	delta := 100 * (r.new - r.old) / r.old
+	bad := delta < -tolerancePct
+	good := delta > tolerancePct
+	if !r.higherBetter {
+		bad, good = good, bad
+	}
+	switch {
+	case bad:
+		return "regressed"
+	case good:
+		return "improved"
+	default:
+		return "ok"
+	}
+}
+
+// CompareBenchFiles diffs two BENCH_* files of the same kind, benchmark by
+// benchmark and metric by metric, rendering a delta table with a
+// tolerance-banded verdict per row. It returns the rendered table plus the
+// list of regressed rows; `sensmart-bench -exp compare` (and the
+// `make bench-diff` CI gate) fails when that list is non-empty. Host-bound
+// metrics (MIPS, wall ms) need a generous tolerance; ratio metrics
+// (speedups) are host-relative and stable.
+func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, []string, error) {
+	oldF, err := loadBenchFile(oldPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	newF, err := loadBenchFile(newPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if oldF.meta.Kind != newF.meta.Kind {
+		return nil, nil, fmt.Errorf("kind mismatch: %s is %q, %s is %q",
+			oldPath, oldF.meta.Kind, newPath, newF.meta.Kind)
+	}
+	if o, n := oldF.meta.SchemaVersion, newF.meta.SchemaVersion; o != 0 && n != 0 && o != n {
+		return nil, nil, fmt.Errorf("schema version mismatch: %s is v%d, %s is v%d", oldPath, o, newPath, n)
+	}
+
+	var rows []compareRow
+	var notes []string
+	missing := func(what, name string) {
+		notes = append(notes, fmt.Sprintf("%s %q present in only one file; skipped", what, name))
+	}
+	switch oldF.meta.Kind {
+	case "interp":
+		o, n := oldF.interp, newF.interp
+		byName := make(map[string]InterpBenchPoint, len(o.Benchmarks))
+		for _, p := range o.Benchmarks {
+			byName[p.Benchmark] = p
+		}
+		for _, np := range n.Benchmarks {
+			op, ok := byName[np.Benchmark]
+			if !ok {
+				missing("benchmark", np.Benchmark)
+				continue
+			}
+			delete(byName, np.Benchmark)
+			rows = append(rows,
+				compareRow{np.Benchmark, "fast_mips", "MIPS", op.FastMIPS, np.FastMIPS, true},
+				compareRow{np.Benchmark, "checked_mips", "MIPS", op.CheckedMIPS, np.CheckedMIPS, true},
+				compareRow{np.Benchmark, "speedup", "x", op.Speedup, np.Speedup, true})
+		}
+		for name := range byName {
+			missing("benchmark", name)
+		}
+		rows = append(rows,
+			compareRow{"suite", "serial_fast_mips", "MIPS", o.SerialFastMIPS, n.SerialFastMIPS, true},
+			compareRow{"suite", "suite_speedup", "x", o.SuiteSpeedup, n.SuiteSpeedup, true})
+	case "profile":
+		o, n := oldF.profile, newF.profile
+		byName := make(map[string]ProfileBenchPoint, len(o.Benchmarks))
+		for _, p := range o.Benchmarks {
+			byName[p.Benchmark] = p
+		}
+		for _, np := range n.Benchmarks {
+			op, ok := byName[np.Benchmark]
+			if !ok {
+				missing("benchmark", np.Benchmark)
+				continue
+			}
+			delete(byName, np.Benchmark)
+			rows = append(rows,
+				compareRow{np.Benchmark, "unprofiled_ms", "ms", op.UnprofiledMs, np.UnprofiledMs, false},
+				compareRow{np.Benchmark, "profiled_ms", "ms", op.ProfiledMs, np.ProfiledMs, false})
+		}
+		for name := range byName {
+			missing("benchmark", name)
+		}
+	case "parallel":
+		o, n := oldF.parallel, newF.parallel
+		byName := make(map[string]ParallelBenchSweep, len(o.Sweeps))
+		for _, s := range o.Sweeps {
+			byName[s.Sweep] = s
+		}
+		for _, ns := range n.Sweeps {
+			os, ok := byName[ns.Sweep]
+			if !ok {
+				missing("sweep", ns.Sweep)
+				continue
+			}
+			delete(byName, ns.Sweep)
+			rows = append(rows,
+				compareRow{ns.Sweep, "serial_ms", "ms", os.SerialMs, ns.SerialMs, false},
+				compareRow{ns.Sweep, "parallel_ms", "ms", os.ParallelMs, ns.ParallelMs, false},
+				compareRow{ns.Sweep, "speedup", "x", os.Speedup, ns.Speedup, true})
+		}
+		for name := range byName {
+			missing("sweep", name)
+		}
+	}
+
+	t := &Table{
+		ID:     "compare",
+		Title:  fmt.Sprintf("%s: %s vs %s (tolerance ±%.0f%%)", oldF.meta.Kind, oldPath, newPath, tolerancePct),
+		Header: []string{"benchmark", "metric", "old", "new", "delta", "verdict"},
+		Notes:  notes,
+	}
+	var regressions []string
+	for _, r := range rows {
+		delta := "n/a"
+		if r.old != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.new-r.old)/r.old)
+		}
+		v := r.verdict(tolerancePct)
+		if v == "regressed" {
+			regressions = append(regressions, fmt.Sprintf("%s %s: %.2f -> %.2f %s (%s)",
+				r.bench, r.metric, r.old, r.new, r.unit, delta))
+		}
+		t.Rows = append(t.Rows, []string{
+			r.bench, r.metric,
+			fmt.Sprintf("%.2f %s", r.old, r.unit),
+			fmt.Sprintf("%.2f %s", r.new, r.unit),
+			delta, v,
+		})
+	}
+	if oldF.meta.SchemaVersion == 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s has no schema header (pre-v%d legacy file); kind inferred from shape",
+			oldPath, BenchSchemaVersion))
+	}
+	return t, regressions, nil
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// interpFixture builds a minimal but schema-complete interp payload.
+func interpFixture(fastMIPS float64) *InterpBench {
+	b := &InterpBench{
+		BenchMeta:          NewBenchMeta("interp", "kernel7"),
+		Reps:               3,
+		SerialFastMs:       10,
+		SerialFastMIPS:     fastMIPS,
+		SuiteSpeedup:       3.0,
+		AllCyclesIdentical: true,
+	}
+	b.Benchmarks = []InterpBenchPoint{
+		{Benchmark: "lfsr", Cycles: 1000, Instructions: 500, CheckedMs: 3, FastMs: 1,
+			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, Speedup: 3, CyclesIdentical: true},
+		{Benchmark: "sort", Cycles: 2000, Instructions: 900, CheckedMs: 6, FastMs: 2,
+			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, Speedup: 3, CyclesIdentical: true},
+	}
+	return b
+}
+
+func writeFixture(t *testing.T, name string, v any) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if _, err := WriteBenchFile(path, v); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareIdenticalFilesOK(t *testing.T) {
+	old := writeFixture(t, "old.json", interpFixture(100))
+	cur := writeFixture(t, "new.json", interpFixture(100))
+	tbl, regressions, err := CompareBenchFiles(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("identical files regressed: %v", regressions)
+	}
+	for _, row := range tbl.Rows {
+		if v := row[len(row)-1]; v != "ok" && v != "n/a" {
+			t.Fatalf("identical files produced verdict %q in row %v", v, row)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := writeFixture(t, "old.json", interpFixture(100))
+	slow := interpFixture(50) // halved throughput, well outside a 10% band
+	cur := writeFixture(t, "new.json", slow)
+	_, regressions, err := CompareBenchFiles(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) == 0 {
+		t.Fatal("halved MIPS not flagged as a regression")
+	}
+	found := false
+	for _, r := range regressions {
+		if strings.Contains(r, "serial_fast_mips") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suite throughput row missing from regressions: %v", regressions)
+	}
+}
+
+func TestCompareDirectionAware(t *testing.T) {
+	// Wall-clock metrics regress UPWARD: a slower profiled_ms must be
+	// flagged even though the number grew.
+	oldB := &ProfileBench{
+		BenchMeta: NewBenchMeta("profile", "kernel7"),
+		Benchmarks: []ProfileBenchPoint{
+			{Benchmark: "lfsr", UnprofiledMs: 10, ProfiledMs: 12},
+		},
+	}
+	newB := &ProfileBench{
+		BenchMeta: NewBenchMeta("profile", "kernel7"),
+		Benchmarks: []ProfileBenchPoint{
+			{Benchmark: "lfsr", UnprofiledMs: 10, ProfiledMs: 30},
+		},
+	}
+	old := writeFixture(t, "old.json", oldB)
+	cur := writeFixture(t, "new.json", newB)
+	_, regressions, err := CompareBenchFiles(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "profiled_ms") {
+		t.Fatalf("2.5x slower profiled_ms not flagged: %v", regressions)
+	}
+}
+
+func TestCompareKindMismatch(t *testing.T) {
+	old := writeFixture(t, "old.json", interpFixture(100))
+	cur := writeFixture(t, "new.json", &ProfileBench{BenchMeta: NewBenchMeta("profile", "kernel7")})
+	if _, _, err := CompareBenchFiles(old, cur, 10); err == nil {
+		t.Fatal("comparing interp against profile did not error")
+	}
+}
+
+// Files written before the BenchMeta header existed carry no kind; the
+// loader must still classify them by payload shape and note the inference.
+func TestCompareLegacyFileInference(t *testing.T) {
+	legacy := interpFixture(100)
+	legacy.BenchMeta = BenchMeta{} // schema_version 0, no kind
+	old := writeFixture(t, "old.json", legacy)
+	cur := writeFixture(t, "new.json", interpFixture(100))
+	tbl, regressions, err := CompareBenchFiles(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("legacy comparison regressed: %v", regressions)
+	}
+	noted := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "legacy") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("legacy inference not noted: %v", tbl.Notes)
+	}
+}
+
+func TestCompareMissingBenchmarkNoted(t *testing.T) {
+	old := writeFixture(t, "old.json", interpFixture(100))
+	cur := interpFixture(100)
+	cur.Benchmarks = cur.Benchmarks[:1] // drop "sort"
+	curPath := writeFixture(t, "new.json", cur)
+	tbl, _, err := CompareBenchFiles(old, curPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noted := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "sort") && strings.Contains(n, "only one file") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("dropped benchmark not noted: %v", tbl.Notes)
+	}
+}
+
+func TestCompareRejectsUnknownPayload(t *testing.T) {
+	path := writeFixture(t, "odd.json", map[string]int{"answer": 42})
+	if _, _, err := CompareBenchFiles(path, path, 10); err == nil {
+		t.Fatal("unrecognized payload did not error")
+	}
+}
+
+func TestCheckInterpBaselineTelemetryGate(t *testing.T) {
+	base := interpFixture(100)
+	cur := interpFixture(100)
+	if err := CheckInterpBaseline(cur, base, 1.5, 40); err != nil {
+		t.Fatalf("clean bench failed the gate: %v", err)
+	}
+	cur.TelemetryOverheadPct = 1.5
+	if err := CheckInterpBaseline(cur, base, 1.5, 40); err == nil {
+		t.Fatal("1.5% armed-telemetry overhead passed the <1% gate")
+	}
+}

@@ -27,9 +27,10 @@ func (r Runner) Figure4() (*Table, error) {
 			"SenSmart tramp", "SenSmart total", "Inflation", "t-kernel", "t-k inflation"},
 	}
 	kbs := progs.KernelBenchmarks()
-	rows, err := runPoints(r.workers(), len(kbs), func(i int) ([]string, error) {
-		return figure4Row(kbs[i])
-	})
+	rows, err := runPoints(r.workers(), len(kbs), runProgress(r, "fig4", len(kbs), nil,
+		func(i int) ([]string, error) {
+			return figure4Row(kbs[i])
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -80,9 +81,10 @@ func (r Runner) Figure5() (*Table, error) {
 			"t-kernel", "SenSmart/native", "t-kernel/native"},
 	}
 	kbs := progs.KernelBenchmarks()
-	rows, err := runPoints(r.workers(), len(kbs), func(i int) ([]string, error) {
-		return figure5Row(kbs[i])
-	})
+	rows, err := runPoints(r.workers(), len(kbs), runProgress(r, "fig5", len(kbs), nil,
+		func(i int) ([]string, error) {
+			return figure5Row(kbs[i])
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -178,9 +180,11 @@ func (r Runner) Figure6(sizes []int, activations int) ([]Figure6Point, error) {
 	if activations == 0 {
 		activations = 300
 	}
-	return runPoints(r.workers(), len(sizes), func(i int) (Figure6Point, error) {
-		return figure6Point(sizes[i], activations)
-	})
+	return runPoints(r.workers(), len(sizes), runProgress(r, "fig6", len(sizes),
+		func(p Figure6Point) uint64 { return p.SenSmartCycles },
+		func(i int) (Figure6Point, error) {
+			return figure6Point(sizes[i], activations)
+		}))
 }
 
 // figure6Point measures one computation size under all four systems.
@@ -287,9 +291,11 @@ func (r Runner) Figure7(nodesPerTree []int, budgetCycles uint64) ([]Figure7Point
 	if budgetCycles == 0 {
 		budgetCycles = 40_000_000
 	}
-	return runPoints(r.workers(), len(nodesPerTree), func(i int) (Figure7Point, error) {
-		return figure7Point(nodesPerTree[i], budgetCycles)
-	})
+	return runPoints(r.workers(), len(nodesPerTree), runProgress(r, "fig7", len(nodesPerTree),
+		func(Figure7Point) uint64 { return budgetCycles },
+		func(i int) (Figure7Point, error) {
+			return figure7Point(nodesPerTree[i], budgetCycles)
+		}))
 }
 
 // figure7Point fills one node with tree-search tasks and measures survival.
@@ -390,9 +396,11 @@ func (r Runner) Figure8(nodesPerTree []int, budgetCycles uint64) ([]Figure8Point
 	if budgetCycles == 0 {
 		budgetCycles = 40_000_000
 	}
-	return runPoints(r.workers(), len(nodesPerTree), func(i int) (Figure8Point, error) {
-		return figure8Point(nodesPerTree[i], budgetCycles)
-	})
+	return runPoints(r.workers(), len(nodesPerTree), runProgress(r, "fig8", len(nodesPerTree),
+		func(Figure8Point) uint64 { return budgetCycles },
+		func(i int) (Figure8Point, error) {
+			return figure8Point(nodesPerTree[i], budgetCycles)
+		}))
 }
 
 // figure8Point compares schedulable task counts at one tree size.

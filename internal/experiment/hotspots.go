@@ -72,17 +72,19 @@ func (r Runner) Hotspots(topK int) (*Table, error) {
 		topK = 5
 	}
 	benches := progs.KernelBenchmarks()
-	points, err := runPoints(r.workers(), len(benches), func(i int) (hotspotPoint, error) {
-		prof := profile.New(profile.Options{})
-		run, err := runSenSmart(kernel.Config{Profile: prof}, 4_000_000_000, benches[i].Program.Clone())
-		if err != nil {
-			return hotspotPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
-		}
-		if err := verifyProfileLedger(benches[i].Name, prof, run); err != nil {
-			return hotspotPoint{}, err
-		}
-		return hotspotPoint{name: benches[i].Name, prof: prof, top: prof.Top(topK)}, nil
-	})
+	points, err := runPoints(r.workers(), len(benches), runProgress(r, "hotspots", len(benches),
+		func(p hotspotPoint) uint64 { return p.prof.TotalCycles() },
+		func(i int) (hotspotPoint, error) {
+			prof := profile.New(profile.Options{})
+			run, err := runSenSmart(kernel.Config{Profile: prof}, 4_000_000_000, benches[i].Program.Clone())
+			if err != nil {
+				return hotspotPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
+			}
+			if err := verifyProfileLedger(benches[i].Name, prof, run); err != nil {
+				return hotspotPoint{}, err
+			}
+			return hotspotPoint{name: benches[i].Name, prof: prof, top: prof.Top(topK)}, nil
+		}))
 	if err != nil {
 		return nil, err
 	}

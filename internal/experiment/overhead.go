@@ -25,18 +25,20 @@ type overheadPoint struct {
 // Table II cost model in cost.go ever drift apart.
 func (r Runner) KernelOverhead() (*Table, error) {
 	benches := progs.KernelBenchmarks()
-	points, err := runPoints(r.workers(), len(benches), func(i int) (overheadPoint, error) {
-		rec := trace.New()
-		cfg := kernel.Config{Trace: rec}
-		run, err := runSenSmart(cfg, 4_000_000_000, benches[i].Program.Clone())
-		if err != nil {
-			return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
-		}
-		if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats, run.K.Symbolizer().Name); err != nil {
-			return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
-		}
-		return overheadPoint{name: benches[i].Name, metrics: run.K.Metrics()}, nil
-	})
+	points, err := runPoints(r.workers(), len(benches), runProgress(r, "overhead", len(benches),
+		func(p overheadPoint) uint64 { return p.metrics.TotalCycles },
+		func(i int) (overheadPoint, error) {
+			rec := trace.New()
+			cfg := kernel.Config{Trace: rec}
+			run, err := runSenSmart(cfg, 4_000_000_000, benches[i].Program.Clone())
+			if err != nil {
+				return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
+			}
+			if err := ReconcileTrapCycles(rec.Events(), &run.K.Stats, run.K.Symbolizer().Name); err != nil {
+				return overheadPoint{}, fmt.Errorf("%s: %w", benches[i].Name, err)
+			}
+			return overheadPoint{name: benches[i].Name, metrics: run.K.Metrics()}, nil
+		}))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Runner executes the evaluation harnesses with a configurable worker pool.
@@ -15,6 +18,13 @@ type Runner struct {
 	// Concurrency is the number of workers a sweep fans out to.
 	// 0 selects runtime.GOMAXPROCS(0); 1 forces the serial path.
 	Concurrency int
+	// Progress, when non-nil, receives one report per completed sweep point
+	// (sweep name, point index, simulated cycles, wall time) — the live
+	// feedback channel behind `sensmart-bench` progress lines and the
+	// `-serve` dashboard. Reports fire from worker goroutines in completion
+	// order; Progress serializes internally. nil disables reporting and
+	// costs one pointer compare per point.
+	Progress *telemetry.Progress
 }
 
 // workers resolves the effective worker count.
@@ -32,6 +42,30 @@ func (r Runner) workers() int {
 // debugger). On error the sweep stops handing out new indices, in-flight
 // points finish, and the error of the lowest failing index is returned —
 // the same error a serial run would surface.
+// runProgress wraps a sweep's point function with per-point wall-clock
+// timing and progress reporting. cyclesOf extracts the simulated-cycle
+// measure from a completed point for the Mcyc/s rate (nil when the sweep
+// has no natural cycle count). With a nil Progress the wrapper is the
+// identity — the sweep pays nothing.
+func runProgress[T any](r Runner, sweep string, n int, cyclesOf func(T) uint64, fn func(i int) (T, error)) func(i int) (T, error) {
+	if r.Progress == nil {
+		return fn
+	}
+	return func(i int) (T, error) {
+		start := time.Now()
+		v, err := fn(i)
+		if err != nil {
+			return v, err
+		}
+		var cycles uint64
+		if cyclesOf != nil {
+			cycles = cyclesOf(v)
+		}
+		r.Progress.Point(sweep, i+1, n, cycles, time.Since(start))
+		return v, nil
+	}
+}
+
 func runPoints[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 1 {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/profile"
 	"repro/internal/rewriter"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// watchpoint hits. nil disables profiling: every MCU and kernel hook
 	// site is a single pointer comparison, like Trace.
 	Profile *profile.Profiler
+	// Telemetry, when set, receives a gauge snapshot of the kernel ledgers
+	// every Telemetry.Every() simulated cycles (see internal/telemetry). nil
+	// disables sampling at the cost of one pointer comparison per machine
+	// run-loop horizon — the same discipline as Trace and Profile.
+	Telemetry *telemetry.Sampler
 }
 
 func (c *Config) setDefaults() {
@@ -208,6 +214,9 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 		// Share the recorder with the machine so interrupt/idle/halt stamps
 		// interleave with kernel events in global cycle order.
 		m.SetRecorder(cfg.Trace)
+	}
+	if cfg.Telemetry != nil {
+		m.SetSampler(cfg.Telemetry.Every(), k.telemetrySample)
 	}
 	if k.prof != nil {
 		k.prof.Bind(k.sym, cfg.Trace, mcu.ClockHz)
@@ -400,6 +409,9 @@ func (k *Kernel) AddTask(name string, nat *rewriter.Naturalized) (*Task, error) 
 	}
 	if k.prof != nil {
 		k.prof.RegisterTask(int32(t.ID), name, t.pl, t.ph, t.pu)
+	}
+	if k.Cfg.Telemetry != nil {
+		k.Cfg.Telemetry.RegisterTask(int32(t.ID), name)
 	}
 	k.ev(trace.Event{Kind: trace.KindTaskSpawn, Task: int32(t.ID), Arg: uint64(t.pl),
 		Arg2: uint64(size), Detail: name})

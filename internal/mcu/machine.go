@@ -92,6 +92,16 @@ type Machine struct {
 	profIdle  func(n uint64)
 	profIntr  func(n uint64)
 
+	// sampleFn, when non-nil, fires at sampling boundaries of the telemetry
+	// layer: the first execution point at or after each multiple of
+	// sampleEvery. Nil-disabled like rec and the profiler hooks, and checked
+	// only in RunUntil's outer loop — never inside the fast loop — so an
+	// attached sampler still quantizes to trap/horizon granularity and a
+	// detached one costs one pointer comparison per horizon.
+	sampleFn    func(at uint64)
+	sampleEvery uint64
+	sampleNext  uint64
+
 	// memWatch, when non-nil, observes successful native SRAM accesses
 	// (loads, stores, pushes, pops) with the physical address; the kernel's
 	// watchpoint adapter translates to logical addresses. Kernel-mediated
@@ -197,6 +207,31 @@ func (m *Machine) SetProfileHooks(h ProfileHooks) {
 	m.profInstr = h.Instr
 	m.profIdle = h.Idle
 	m.profIntr = h.Interrupt
+}
+
+// SetSampler installs (or, with nil fn or zero interval, removes) the
+// telemetry sampling hook. fn fires with the nominal boundary cycle `at`
+// (a multiple of every) at the first RunUntil outer-loop iteration whose
+// clock has reached it; after a long uninterrupted stretch (sleep, a wide
+// device horizon) only the latest crossed boundary fires, so samplers see
+// at most one sample per interval and never a catch-up flood. The clock is
+// simulated, so firing points are deterministic across runs and hosts.
+func (m *Machine) SetSampler(every uint64, fn func(at uint64)) {
+	if fn == nil || every == 0 {
+		m.sampleFn, m.sampleEvery, m.sampleNext = nil, 0, 0
+		return
+	}
+	m.sampleFn = fn
+	m.sampleEvery = every
+	m.sampleNext = (m.cycle/every + 1) * every
+}
+
+// fireSample invokes the sampling hook for the latest boundary the clock has
+// crossed and schedules the next one.
+func (m *Machine) fireSample() {
+	next := (m.cycle/m.sampleEvery + 1) * m.sampleEvery
+	m.sampleNext = next
+	m.sampleFn(next - m.sampleEvery)
 }
 
 // SetMemWatch installs (or, with nil, removes) the native-access watchpoint
@@ -356,6 +391,9 @@ func (m *Machine) Run(limit uint64) error {
 // falls back to the fully-checked Step, whose semantics are untouched.
 func (m *Machine) RunUntil(limit uint64) error {
 	for limit == 0 || m.cycle < limit {
+		if m.sampleFn != nil && m.cycle >= m.sampleNext {
+			m.fireSample()
+		}
 		if m.fault != nil || m.sleeping || m.pending != 0 ||
 			m.stepwise || m.profInstr != nil || m.rec != nil {
 			if err := m.Step(); err != nil {

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// appendNDJSON appends one sample's canonical NDJSON line (JSON object +
+// '\n') to dst. Struct field order makes encoding/json deterministic, so
+// identical samples always produce identical bytes — the property the
+// determinism suite asserts across serial and pool runs.
+func appendNDJSON(dst []byte, smp *Sample) []byte {
+	b, err := json.Marshal(smp)
+	if err != nil {
+		// Sample contains only marshalable field types; unreachable.
+		panic("telemetry: marshal sample: " + err.Error())
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// WriteNDJSON dumps the retained ring, oldest first, one sample per line.
+// This is the same encoding the live Stream uses, so a ring that never
+// wrapped dumps byte-identically to its stream file.
+func (s *Sampler) WriteNDJSON(w io.Writer) error {
+	var buf []byte
+	for _, smp := range s.Samples() {
+		buf = appendNDJSON(buf[:0], &smp)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is the JSON time-series snapshot served at /api/series: the
+// retained window plus enough header for a consumer to interpret it.
+type Series struct {
+	Every   uint64   `json:"every"`
+	Total   uint64   `json:"total"`
+	Dropped uint64   `json:"dropped"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot captures the ring as a Series.
+func (s *Sampler) Snapshot() Series {
+	samples := s.Samples()
+	s.mu.Lock()
+	total := s.total
+	s.mu.Unlock()
+	return Series{
+		Every:   s.every,
+		Total:   total,
+		Dropped: total - uint64(len(samples)),
+		Samples: samples,
+	}
+}
+
+// WriteJSON writes the Series snapshot as indented JSON. Deterministic for
+// deterministic runs, like every exporter in this package.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Server exposes a Sampler (and optionally a Progress) over HTTP:
+//
+//	/            live dashboard (inline HTML + SVG sparklines, no deps)
+//	/metrics     Prometheus text exposition of the latest sample
+//	/api/series  JSON Series snapshot of the sample ring
+//	/api/progress JSON array of completed experiment sweep points
+//
+// Either field may be nil; the corresponding endpoints degrade to empty
+// payloads rather than 404s, so dashboards work for both sim runs (sampler
+// only) and bench sweeps (progress only).
+type Server struct {
+	Sampler  *Sampler
+	Progress *Progress
+	Title    string
+}
+
+// Handler returns the route mux. The caller owns the listener lifecycle;
+// the simulator starts it before Run and shuts it down after the final
+// snapshot so a last scrape observes the reconciled totals.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		title := srv.Title
+		if title == "" {
+			title = "sensmart"
+		}
+		// json.Marshal yields a script-safe JS string literal for the splice.
+		quoted, _ := json.Marshal(title)
+		page := dashboardHead + string(quoted) + dashboardTail
+		_, _ = w.Write([]byte(page))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if srv.Sampler == nil {
+			return
+		}
+		_ = srv.Sampler.WritePrometheus(w)
+	})
+	mux.HandleFunc("/api/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if srv.Sampler == nil {
+			_, _ = w.Write([]byte(`{"every":0,"total":0,"dropped":0,"samples":[]}`))
+			return
+		}
+		_ = srv.Sampler.WriteJSON(w)
+	})
+	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		pts := srv.Progress.Points()
+		if pts == nil {
+			pts = []ProgressPoint{}
+		}
+		data, err := json.Marshal(pts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(data)
+	})
+	return mux
+}
+
+// The dashboard is a single self-contained page: no external scripts,
+// stylesheets, or fonts. It polls /api/series and /api/progress once a
+// second and draws SVG sparklines client-side. Split around the title so
+// Handler can splice it in without a template engine.
+const dashboardHead = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>sensmart telemetry</title>
+<style>
+body { font: 13px/1.5 monospace; margin: 1.5em; background: #111; color: #ddd; }
+h1 { font-size: 16px; }  h2 { font-size: 14px; margin: 1.2em 0 .3em; }
+.card { display: inline-block; vertical-align: top; margin: 0 1.2em .8em 0; }
+.card .v { font-size: 15px; color: #fff; }
+svg { background: #1a1a1a; border: 1px solid #333; }
+polyline { fill: none; stroke: #6cf; stroke-width: 1; }
+table { border-collapse: collapse; }
+td, th { padding: .1em .8em .1em 0; text-align: right; }
+th { color: #888; font-weight: normal; } td:first-child, th:first-child { text-align: left; }
+#err { color: #f66; }
+</style>
+</head>
+<body>
+<h1 id="title"></h1><span id="err"></span>
+<div id="cards"></div>
+<h2>sparklines (retained sample window)</h2>
+<div id="spark"></div>
+<h2>tasks (latest sample)</h2>
+<div id="tasks"></div>
+<h2>experiment progress</h2>
+<div id="progress"></div>
+<script>
+document.getElementById('title').textContent = `
+
+const dashboardTail = `;
+function esc(s) { const d = document.createElement('div'); d.textContent = s; return d.innerHTML; }
+function spark(name, vals) {
+  const w = 240, h = 48;
+  if (!vals.length) return '';
+  let mx = Math.max(...vals, 1e-9), mn = Math.min(...vals, 0);
+  const pts = vals.map((v, i) =>
+    (i * w / Math.max(vals.length - 1, 1)).toFixed(1) + ',' +
+    (h - 2 - (v - mn) / (mx - mn || 1) * (h - 4)).toFixed(1)).join(' ');
+  return '<div class="card"><div>' + esc(name) + ' <span class="v">' +
+    vals[vals.length - 1].toPrecision(4) + '</span></div>' +
+    '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts + '"/></svg></div>';
+}
+function card(name, val) {
+  return '<div class="card">' + esc(name) + '<div class="v">' + esc(String(val)) + '</div></div>';
+}
+function diff(samples, f) {
+  const out = [];
+  for (let i = 1; i < samples.length; i++) out.push(f(samples[i]) - f(samples[i - 1]));
+  return out;
+}
+async function tick() {
+  try {
+    const series = await (await fetch('/api/series')).json();
+    const prog = await (await fetch('/api/progress')).json();
+    document.getElementById('err').textContent = '';
+    const ss = series.samples;
+    if (ss.length) {
+      const last = ss[ss.length - 1];
+      const kern = s => s.service_overhead_cycles + s.switch_cycles + s.reloc_cycles + s.boot_cycles;
+      document.getElementById('cards').innerHTML =
+        card('cycles', last.cycle.toLocaleString()) +
+        card('samples', series.total + (series.dropped ? ' (' + series.dropped + ' dropped)' : '')) +
+        card('idle %', (100 * last.idle_cycles / Math.max(last.cycle, 1)).toFixed(2)) +
+        card('kernel %', (100 * kern(last) / Math.max(last.cycle, 1)).toFixed(2)) +
+        card('switches', last.context_switches) + card('preemptions', last.preemptions) +
+        card('relocations', last.relocations) + card('running', last.running);
+      let sp =
+        spark('idle fraction', ss.map(s => s.idle_cycles / Math.max(s.cycle, 1))) +
+        spark('kernel cyc/sample', diff(ss, kern)) +
+        spark('branch traps/sample', diff(ss, s => s.branch_traps)) +
+        spark('relocs/sample', diff(ss, s => s.relocations)) +
+        spark('stack bytes', ss.map(s => s.stack_bytes)) +
+        spark('free bytes', ss.map(s => s.free_bytes));
+      const ids = (last.tasks || []).map(t => t.id);
+      for (const id of ids)
+        sp += spark('task ' + id + ' SP depth', ss.map(s =>
+          ((s.tasks || []).find(t => t.id === id) || {stack_used: 0}).stack_used));
+      document.getElementById('spark').innerHTML = sp;
+      let tt = '<table><tr><th>task</th><th>state</th><th>run cycles</th><th>kernel</th>' +
+        '<th>SP</th><th>peak</th><th>alloc</th><th>traps</th><th>relocs</th><th>switches</th></tr>';
+      for (const t of last.tasks || [])
+        tt += '<tr><td>' + esc(t.name || String(t.id)) + '</td><td>' + esc(t.state) + '</td><td>' +
+          t.run_cycles.toLocaleString() + '</td><td>' + t.kernel_cycles.toLocaleString() + '</td><td>' +
+          t.stack_used + '</td><td>' + t.stack_peak + '</td><td>' + t.stack_alloc + '</td><td>' +
+          t.traps + '</td><td>' + t.relocations + '</td><td>' + t.switches + '</td></tr>';
+      document.getElementById('tasks').innerHTML = tt + '</table>';
+    }
+    if (prog.length) {
+      let pt = '<table><tr><th>sweep</th><th>point</th><th>Mcycles</th><th>ms</th><th>Mcyc/s</th></tr>';
+      for (const p of prog.slice(-40))
+        pt += '<tr><td>' + esc(p.sweep) + '</td><td>' + p.index + '/' + p.total + '</td><td>' +
+          (p.cycles / 1e6).toFixed(1) + '</td><td>' + p.wall_ms.toFixed(1) + '</td><td>' +
+          p.mcyc_per_sec.toFixed(0) + '</td></tr>';
+      document.getElementById('progress').innerHTML = pt + '</table>';
+    }
+  } catch (e) {
+    document.getElementById('err').textContent = ' (poll failed: ' + e + ')';
+  }
+}
+tick(); setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

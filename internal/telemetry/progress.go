@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ProgressPoint is one completed sweep point of a running experiment.
+type ProgressPoint struct {
+	Sweep string `json:"sweep"`
+	Index int    `json:"index"` // 1-based position within the sweep
+	Total int    `json:"total"`
+	// Cycles is the simulated-cycle count of the point (0 when the
+	// experiment has no natural cycle measure, e.g. byte-count tables).
+	Cycles uint64 `json:"cycles"`
+	// WallMS is host wall-clock milliseconds the point took; McycPerSec the
+	// resulting simulation rate (0 when Cycles is 0).
+	WallMS     float64 `json:"wall_ms"`
+	McycPerSec float64 `json:"mcyc_per_sec"`
+}
+
+// Progress fans completed sweep points out to a line sink (stderr, unless
+// -quiet) and retains them for the HTTP /api/progress view. Experiment
+// workers report concurrently, so it is mutex-guarded; it deliberately does
+// NOT touch experiment results — pool merge order stays byte-deterministic,
+// only the progress line order varies with scheduling.
+type Progress struct {
+	mu     sync.Mutex
+	sink   func(line string)
+	points []ProgressPoint
+	done   map[string]int
+}
+
+// NewProgress returns a Progress whose lines go to sink (nil for retain-only,
+// e.g. when -quiet is combined with -serve).
+func NewProgress(sink func(line string)) *Progress {
+	return &Progress{sink: sink, done: make(map[string]int)}
+}
+
+// Point records one completed sweep point and emits its progress line.
+func (p *Progress) Point(sweep string, index, total int, cycles uint64, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	pt := ProgressPoint{
+		Sweep:  sweep,
+		Index:  index,
+		Total:  total,
+		Cycles: cycles,
+		WallMS: float64(wall) / float64(time.Millisecond),
+	}
+	if cycles > 0 && wall > 0 {
+		pt.McycPerSec = float64(cycles) / 1e6 / wall.Seconds()
+	}
+	p.mu.Lock()
+	p.points = append(p.points, pt)
+	p.done[sweep]++
+	n := p.done[sweep]
+	sink := p.sink
+	p.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	var line string
+	switch {
+	case pt.Cycles > 0:
+		line = fmt.Sprintf("progress: %s [%d/%d] %.1f Mcycles in %.1f ms (%.0f Mcyc/s)",
+			sweep, n, total, float64(cycles)/1e6, pt.WallMS, pt.McycPerSec)
+	default:
+		line = fmt.Sprintf("progress: %s [%d/%d] done in %.1f ms", sweep, n, total, pt.WallMS)
+	}
+	_ = index // position within the sweep is in the retained point; lines count completions
+	sink(line)
+}
+
+// Points returns all recorded points in completion order.
+func (p *Progress) Points() []ProgressPoint {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ProgressPoint(nil), p.points...)
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and newline.
+func promEscape(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+type promMetric struct {
+	name string
+	help string
+	typ  string // "gauge" or "counter"
+	rows []promRow
+}
+
+type promRow struct {
+	labels string // rendered `{...}` block, or ""
+	value  string
+}
+
+func (m *promMetric) add(labels, value string) {
+	m.rows = append(m.rows, promRow{labels: labels, value: value})
+}
+
+// WritePrometheus renders the latest sample in Prometheus text exposition
+// format (version 0.0.4). Cumulative cycle/event tallies are exported as
+// counters, instantaneous state as gauges. With no samples yet it emits only
+// sensmart_telemetry_samples_total, so a scrape during boot still parses.
+func (s *Sampler) WritePrometheus(w io.Writer) error {
+	last, ok := s.Last()
+	s.mu.Lock()
+	total := s.total
+	names := make(map[int32]string, len(s.names))
+	for id, n := range s.names {
+		names[id] = n
+	}
+	s.mu.Unlock()
+
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	i := func(v int) string { return strconv.Itoa(v) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	metrics := []*promMetric{
+		{name: "sensmart_telemetry_samples_total", typ: "counter",
+			help: "Samples recorded since boot (including any the ring has overwritten)."},
+	}
+	metrics[0].add("", u(total))
+	if ok {
+		add := func(name, help, typ, labels, value string) {
+			for _, m := range metrics {
+				if m.name == name {
+					m.add(labels, value)
+					return
+				}
+			}
+			m := &promMetric{name: name, help: help, typ: typ}
+			m.add(labels, value)
+			metrics = append(metrics, m)
+		}
+		add("sensmart_cycles_total", "Simulated cycles elapsed.", "counter", "", u(last.Cycle))
+		add("sensmart_idle_cycles_total", "Cycles spent in the idle loop.", "counter", "", u(last.IdleCycles))
+		add("sensmart_kernel_cycles_total", "Kernel-attributed cycles by component.", "counter",
+			`{component="service"}`, u(last.ServiceOverheadCycles))
+		add("sensmart_kernel_cycles_total", "", "", `{component="switch"}`, u(last.SwitchCycles))
+		add("sensmart_kernel_cycles_total", "", "", `{component="reloc"}`, u(last.RelocCycles))
+		add("sensmart_kernel_cycles_total", "", "", `{component="boot"}`, u(last.BootCycles))
+		add("sensmart_app_cycles_total", "Application-attributed cycles.", "counter", "", u(last.AppCycles()))
+		add("sensmart_context_switches_total", "Context switches.", "counter", "", i(last.ContextSwitches))
+		add("sensmart_preemptions_total", "Slice-expiry preemptions.", "counter", "", i(last.Preemptions))
+		add("sensmart_branch_traps_total", "Service-branch traps taken.", "counter", "", u(last.BranchTraps))
+		add("sensmart_relocations_total", "Stack relocations performed.", "counter", "", i(last.Relocations))
+		add("sensmart_relocated_bytes_total", "Bytes moved by stack relocation.", "counter", "", u(last.RelocatedBytes))
+		add("sensmart_terminations_total", "Tasks terminated.", "counter", "", i(last.Terminations))
+		add("sensmart_idle_fraction", "Idle share of elapsed cycles.", "gauge", "", f(last.IdleFraction()))
+		add("sensmart_heap_bytes", "Live task heap bytes.", "gauge", "", u(uint64(last.HeapBytes)))
+		add("sensmart_stack_bytes", "Allocated task stack bytes.", "gauge", "", u(uint64(last.StackBytes)))
+		add("sensmart_free_bytes", "Free application-area bytes.", "gauge", "", u(uint64(last.FreeBytes)))
+		add("sensmart_running_task", "Task id currently holding the CPU (-1 when idle).", "gauge",
+			"", strconv.FormatInt(int64(last.Running), 10))
+
+		tasks := append([]TaskSample(nil), last.Tasks...)
+		sort.Slice(tasks, func(a, b int) bool { return tasks[a].ID < tasks[b].ID })
+		for _, t := range tasks {
+			name := t.Name
+			if name == "" {
+				name = names[t.ID]
+			}
+			lb := fmt.Sprintf(`{task="%s",id="%d"}`, promEscape(name), t.ID)
+			add("sensmart_task_run_cycles_total", "Cycles each task held the CPU.", "counter", lb, u(t.RunCycles))
+			add("sensmart_task_kernel_cycles_total", "Kernel cycles charged to each task.", "counter", lb, u(t.KernelCycles))
+			add("sensmart_task_traps_total", "KTRAP services each task invoked.", "counter", lb, u(t.Traps))
+			add("sensmart_task_relocations_total", "Stack relocations per task.", "counter", lb, i(t.Relocations))
+			add("sensmart_task_switches_total", "Times each task was scheduled in.", "counter", lb, i(t.Switches))
+			add("sensmart_task_stack_used_bytes", "Live stack depth per task.", "gauge", lb, u(uint64(t.StackUsed)))
+			add("sensmart_task_stack_peak_bytes", "Stack high-water mark per task.", "gauge", lb, u(uint64(t.StackPeak)))
+			add("sensmart_task_stack_alloc_bytes", "Allocated stack per task.", "gauge", lb, u(uint64(t.StackAlloc)))
+			add("sensmart_task_heap_bytes", "Heap bytes per task.", "gauge", lb, u(uint64(t.HeapBytes)))
+		}
+	}
+
+	var b strings.Builder
+	for _, m := range metrics {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		if m.typ != "" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		}
+		for _, r := range m.rows {
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, r.labels, r.value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition (version 0.0.4): every non-comment line is
+// `name{labels} value`, label values are properly quoted, values parse as
+// floats, TYPE comments name a known type, and samples of a metric follow
+// its TYPE line without another metric interleaving. The acceptance tests
+// run every /metrics response through this.
+func ValidateExposition(data []byte) error {
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i, r := range s {
+			ok := r == '_' || r == ':' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	typed := make(map[string]string)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			if ln != len(lines)-1 {
+				return fmt.Errorf("line %d: empty line inside exposition", ln+1)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if !validName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", ln+1, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE missing type", ln+1)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", ln+1, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", ln+1, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := -1
+			inQuote := false
+			for i := 1; i < len(rest); i++ {
+				switch {
+				case inQuote && rest[i] == '\\':
+					i++
+				case rest[i] == '"':
+					inQuote = !inQuote
+				case !inQuote && rest[i] == '}':
+					end = i
+				}
+				if end >= 0 {
+					break
+				}
+			}
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label block", ln+1)
+			}
+			labels := rest[1:end]
+			rest = rest[end+1:]
+			if labels != "" {
+				for _, pair := range splitLabels(labels) {
+					eq := strings.Index(pair, "=")
+					if eq <= 0 {
+						return fmt.Errorf("line %d: malformed label %q", ln+1, pair)
+					}
+					lname, lval := pair[:eq], pair[eq+1:]
+					if !validName(lname) {
+						return fmt.Errorf("line %d: invalid label name %q", ln+1, lname)
+					}
+					if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+						return fmt.Errorf("line %d: unquoted label value %q", ln+1, lval)
+					}
+				}
+			}
+		}
+		rest = strings.TrimSpace(rest)
+		value := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			value = rest[:i] // optional trailing timestamp
+			if _, err := strconv.ParseInt(strings.TrimSpace(rest[i+1:]), 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp in %q", ln+1, line)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			switch value {
+			case "NaN", "+Inf", "-Inf":
+			default:
+				return fmt.Errorf("line %d: bad value %q", ln+1, value)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label block body on commas that sit outside quoted
+// values.
+func splitLabels(s string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkSample(i int) Sample {
+	return Sample{
+		At:                    uint64(i) * DefaultEvery,
+		Cycle:                 uint64(i)*DefaultEvery + uint64(i%7),
+		IdleCycles:            uint64(i * 10),
+		ServiceOverheadCycles: uint64(i * 100),
+		SwitchCycles:          uint64(i * 20),
+		RelocCycles:           uint64(i * 3),
+		BootCycles:            123,
+		ContextSwitches:       i,
+		BranchTraps:           uint64(i * 2),
+		Running:               int32(i % 3),
+		Tasks: []TaskSample{
+			{ID: 1, Name: "lfsr", State: "running", RunCycles: uint64(i * 50), StackUsed: uint16(i % 64)},
+			{ID: 2, Name: "timer", State: "ready", RunCycles: uint64(i * 30), StackPeak: 40},
+		},
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	s := New(Options{Every: 100, Ring: 4})
+	if s.Every() != 100 {
+		t.Fatalf("Every() = %d, want 100", s.Every())
+	}
+	// Golden walk: fill, then wrap twice over; the ring must always hold
+	// the most recent 4 samples oldest-first, with Total counting all.
+	for i := 0; i < 10; i++ {
+		s.Record(mkSample(i))
+		got := s.Samples()
+		wantLen := i + 1
+		if wantLen > 4 {
+			wantLen = 4
+		}
+		if len(got) != wantLen {
+			t.Fatalf("after %d records: %d samples, want %d", i+1, len(got), wantLen)
+		}
+		for j, smp := range got {
+			wantIdx := i + 1 - wantLen + j
+			if smp.At != uint64(wantIdx)*DefaultEvery {
+				t.Fatalf("after %d records, sample %d has At=%d, want index %d", i+1, j, smp.At, wantIdx)
+			}
+		}
+		last, ok := s.Last()
+		if !ok || last.At != mkSample(i).At {
+			t.Fatalf("Last() after %d records = %+v ok=%v", i+1, last.At, ok)
+		}
+	}
+	if s.Total() != 10 {
+		t.Fatalf("Total() = %d, want 10", s.Total())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", s.Dropped())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := New(Options{})
+	if s.Every() != DefaultEvery {
+		t.Fatalf("default Every = %d", s.Every())
+	}
+	if s.ring != DefaultRing {
+		t.Fatalf("default Ring = %d", s.ring)
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last() reported a sample on an empty ring")
+	}
+}
+
+func TestStreamMatchesRingDump(t *testing.T) {
+	var stream bytes.Buffer
+	s := New(Options{Every: 100, Ring: 64, Stream: &stream})
+	for i := 0; i < 5; i++ {
+		s.Record(mkSample(i))
+	}
+	var dump bytes.Buffer
+	if err := s.WriteNDJSON(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), dump.Bytes()) {
+		t.Fatalf("live stream and ring dump differ:\nstream:\n%s\ndump:\n%s", stream.String(), dump.String())
+	}
+	if n := bytes.Count(dump.Bytes(), []byte("\n")); n != 5 {
+		t.Fatalf("NDJSON dump has %d lines, want 5", n)
+	}
+	// Every line must round-trip as a Sample.
+	for _, line := range bytes.Split(bytes.TrimSpace(dump.Bytes()), []byte("\n")) {
+		var smp Sample
+		if err := json.Unmarshal(line, &smp); err != nil {
+			t.Fatalf("NDJSON line %q: %v", line, err)
+		}
+	}
+	if err := s.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, fmt.Errorf("boom %d", f.n)
+}
+
+func TestStreamErrorSticky(t *testing.T) {
+	fw := &failWriter{}
+	s := New(Options{Stream: fw})
+	s.Record(mkSample(0))
+	s.Record(mkSample(1))
+	if err := s.StreamErr(); err == nil || !strings.Contains(err.Error(), "boom 1") {
+		t.Fatalf("StreamErr = %v, want the first failure", err)
+	}
+	if fw.n != 1 {
+		t.Fatalf("stream written %d times after failure, want 1", fw.n)
+	}
+	if s.Total() != 2 {
+		t.Fatal("ring recording must continue after a stream failure")
+	}
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	s := New(Options{Every: 100, Ring: 2})
+	for i := 0; i < 3; i++ {
+		s.Record(mkSample(i))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var series Series
+	if err := json.Unmarshal(buf.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	if series.Every != 100 || series.Total != 3 || series.Dropped != 1 || len(series.Samples) != 2 {
+		t.Fatalf("series header = %+v with %d samples", series, len(series.Samples))
+	}
+	if series.Samples[0].At >= series.Samples[1].At {
+		t.Fatal("snapshot samples not oldest-first")
+	}
+}
+
+func TestPrometheusValid(t *testing.T) {
+	s := New(Options{Every: 100, Ring: 8})
+	s.RegisterTask(1, "lfsr")
+	s.RegisterTask(2, `ti"mer\n`) // hostile label value
+	var empty bytes.Buffer
+	if err := s.WritePrometheus(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(empty.Bytes()); err != nil {
+		t.Fatalf("empty exposition invalid: %v\n%s", err, empty.String())
+	}
+	smp := mkSample(3)
+	smp.Tasks[1].Name = `ti"mer\n`
+	s.Record(smp)
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE sensmart_cycles_total counter",
+		"sensmart_telemetry_samples_total 1",
+		`sensmart_kernel_cycles_total{component="switch"} 60`,
+		`sensmart_task_run_cycles_total{task="lfsr",id="1"} 150`,
+		`task="ti\"mer\\n"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []string{
+		"1bad_name 3\n",
+		"metric{label=unquoted} 3\n",
+		"metric{l=\"v\" 3\n",
+		"metric notanumber\n",
+		"# TYPE metric flavour\n",
+		"# HELP\n",
+		"metric 3\n\nmetric 4\n",
+		"# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"metric 3 notatimestamp\n",
+	}
+	for _, c := range cases {
+		if err := ValidateExposition([]byte(c)); err == nil {
+			t.Errorf("ValidateExposition accepted %q", c)
+		}
+	}
+	good := "# HELP m help text here\n# TYPE m gauge\nm{a=\"b\",c=\"d\"} 1.5 1234567\nm2 NaN\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("ValidateExposition rejected %q: %v", good, err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(Options{Every: 100, Ring: 8})
+	s.RegisterTask(1, "lfsr")
+	s.Record(mkSample(1))
+	p := NewProgress(nil)
+	p.Point("fig6", 1, 7, 39_200_000, 24*time.Millisecond)
+	srv := httptest.NewServer((&Server{Sampler: s, Progress: p, Title: "test run"}).Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return buf.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/")
+	if !strings.Contains(ctype, "text/html") || !strings.Contains(body, "test run") ||
+		!strings.Contains(body, "<svg") && !strings.Contains(body, "svg") {
+		t.Fatalf("dashboard: ctype=%q", ctype)
+	}
+	body, ctype = get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	body, _ = get("/api/series")
+	var series Series
+	if err := json.Unmarshal([]byte(body), &series); err != nil || len(series.Samples) != 1 {
+		t.Fatalf("/api/series: %v (%d samples)", err, len(series.Samples))
+	}
+	body, _ = get("/api/progress")
+	var pts []ProgressPoint
+	if err := json.Unmarshal([]byte(body), &pts); err != nil || len(pts) != 1 || pts[0].Sweep != "fig6" {
+		t.Fatalf("/api/progress: %v %+v", err, pts)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPNilBackends(t *testing.T) {
+	srv := httptest.NewServer((&Server{}).Handler())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/api/series", "/api/progress"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s with nil backends: status %d", path, resp.StatusCode)
+		}
+		if path == "/api/series" {
+			var series Series
+			if err := json.Unmarshal(buf.Bytes(), &series); err != nil {
+				t.Fatalf("nil-sampler series: %v", err)
+			}
+		}
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var lines []string
+	p := NewProgress(func(l string) { lines = append(lines, l) })
+	p.Point("fig5", 1, 7, 39_200_000, 24*time.Millisecond)
+	p.Point("fig5", 2, 7, 0, 3*time.Millisecond)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if want := "progress: fig5 [1/7] 39.2 Mcycles in 24.0 ms (1633 Mcyc/s)"; lines[0] != want {
+		t.Fatalf("line = %q, want %q", lines[0], want)
+	}
+	if !strings.Contains(lines[1], "fig5 [2/7] done") {
+		t.Fatalf("cycle-less line = %q", lines[1])
+	}
+	var nilP *Progress
+	nilP.Point("x", 1, 1, 0, 0) // must not panic
+	if nilP.Points() != nil {
+		t.Fatal("nil Progress returned points")
+	}
+	if got := p.Points(); len(got) != 2 || got[0].McycPerSec == 0 {
+		t.Fatalf("Points() = %+v", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/profile"
 	"repro/internal/rewriter"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,18 @@ type (
 	ProfileOptions = profile.Options
 	// Watchpoint is one watched logical address range.
 	Watchpoint = profile.Watchpoint
+	// TelemetrySampler snapshots kernel and per-task gauges every N
+	// simulated cycles into a fixed-size ring, with Prometheus/JSON/NDJSON
+	// exporters and an embedded live dashboard (see internal/telemetry).
+	TelemetrySampler = telemetry.Sampler
+	// TelemetryOptions tunes the sampler (interval, ring size, NDJSON
+	// stream).
+	TelemetryOptions = telemetry.Options
+	// TelemetrySample is one cycle-stamped gauge snapshot.
+	TelemetrySample = telemetry.Sample
+	// TelemetryServer serves a sampler (dashboard, /metrics, /api/series)
+	// over HTTP.
+	TelemetryServer = telemetry.Server
 )
 
 // NewSystem creates a fresh simulated node with an attached SenSmart
@@ -104,6 +117,16 @@ func WithProfile(p *Profiler) Option { return core.WithProfile(p) }
 
 // NewProfiler returns an empty profiler. Attach it with WithProfile.
 func NewProfiler(o ProfileOptions) *Profiler { return profile.New(o) }
+
+// WithTelemetry attaches a cycle-domain telemetry sampler to the system
+// being built. Read it live over HTTP with TelemetryServer, or export with
+// Sampler.WriteJSON / WriteNDJSON / WritePrometheus; take a final
+// reconciled snapshot with System.SampleTelemetry.
+func WithTelemetry(s *TelemetrySampler) Option { return core.WithTelemetry(s) }
+
+// NewTelemetrySampler returns an empty sampler. Attach it with
+// WithTelemetry.
+func NewTelemetrySampler(o TelemetryOptions) *TelemetrySampler { return telemetry.New(o) }
 
 // ParseWatch parses a -watch style watchpoint spec: addr[:len][:r|w|rw],
 // addresses in task-logical space (hex accepted with 0x prefix).
