@@ -13,6 +13,7 @@
 //	sensmart-bench -exp hotspots -profile hotspots.pb.gz -folded hotspots.folded
 //	sensmart-bench -exp profilebench -out BENCH_profile.json
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
+//	sensmart-bench -exp faultcampaign -seed 1 -trials 20 -out BENCH_faultcampaign.json
 //	sensmart-bench -exp interp -out BENCH_interp.json
 //	sensmart-bench -exp interp -baseline BENCH_interp.baseline.json
 //	sensmart-bench -exp compare -old BENCH_interp.baseline.json -new BENCH_interp.json
@@ -56,7 +57,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|compare|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|faultcampaign|compare|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
@@ -70,6 +71,8 @@ func run(args []string) error {
 	baseline := fs.String("baseline", "", "with -exp interp: gate the fresh results against this committed BENCH_interp baseline")
 	minSpeedup := fs.Float64("min-speedup", 1.1, "with -exp interp -baseline: required suite-aggregate fast/checked speedup (checked mode shares the predecoded cache, so this gates the run-loop structure, not the full gain over the pre-predecode interpreter)")
 	tolerance := fs.Float64("tolerance", 50, "with -exp interp -baseline: allowed %% drop of serial fast MIPS below the baseline; with -exp compare: %% band inside which a metric counts as unchanged (wide band: absolute wall-clock is host-dependent)")
+	seed := fs.Uint64("seed", 1, "with -exp faultcampaign: campaign seed (every trial site derives from it)")
+	trials := fs.Int("trials", 20, "with -exp faultcampaign: injected trials per benchmark")
 	oldPath := fs.String("old", "", "with -exp compare: baseline BENCH_*.json file")
 	newPath := fs.String("new", "", "with -exp compare: fresh BENCH_*.json file of the same kind")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines on stderr")
@@ -292,6 +295,23 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n%s", path, data)
+			return nil
+		},
+		"faultcampaign": func() error {
+			b, err := r.FaultCampaign(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_faultcampaign.json"
+			}
+			data, err := experiment.WriteBenchFile(path, b)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+			fmt.Print(experiment.FaultCampaignTable(b).Render())
 			return nil
 		},
 		"compare": func() error {

@@ -7,6 +7,7 @@
 //	             [-trace out.json] [-metrics]
 //	             [-profile out.pb.gz] [-folded out.folded] [-stackrec out.csv]
 //	             [-watch addr[:len][:r|w|rw]]...
+//	             [-inject KIND:PARAMS@CYCLE]...
 //	             [-serve :8080] [-telemetry out.ndjson] [-sample N]
 //	             file.{s,json}...
 package main
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/avr/asm"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/image"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
@@ -111,6 +113,15 @@ func run(args []string) error {
 		watches = append(watches, wp)
 		return nil
 	})
+	var injections []faultinject.Injection
+	fs.Func("inject", "inject a fault at a cycle: sram:ADDR[:BIT]@CYC | burst:ADDR:LEN[:BIT]@CYC | reg:rN[:BIT]@CYC | smash:LEN:VALUE@CYC | retaddr:TARGET@CYC | radio:HEXBYTES@CYC (repeatable)", func(s string) error {
+		in, err := faultinject.ParseInject(s)
+		if err != nil {
+			return err
+		}
+		injections = append(injections, in)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,7 +156,7 @@ func run(args []string) error {
 	}
 
 	if *native {
-		return runNative(programs[0], *cycles, *uart)
+		return runNative(programs[0], *cycles, *uart, injections)
 	}
 
 	cfg := kernel.Config{}
@@ -205,6 +216,7 @@ func run(args []string) error {
 	if err := sys.Boot(); err != nil {
 		return err
 	}
+	faultinject.ArmAll(sys.Machine(), injections)
 	if err := sys.Run(*cycles); err != nil {
 		return err
 	}
@@ -343,7 +355,7 @@ func reportWatchHits(prof *profile.Profiler) {
 	}
 }
 
-func runNative(prog *image.Program, limit uint64, uart bool) error {
+func runNative(prog *image.Program, limit uint64, uart bool, injections []faultinject.Injection) error {
 	m := mcu.New()
 	if err := m.LoadFlash(0, prog.Words); err != nil {
 		return err
@@ -352,6 +364,7 @@ func runNative(prog *image.Program, limit uint64, uart bool) error {
 		m.Poke(prog.HeapBase+uint16(i), b)
 	}
 	m.SetPC(prog.Entry)
+	faultinject.ArmAll(m, injections)
 	err := m.Run(limit)
 	var f *mcu.Fault
 	if err != nil && !(errors.As(err, &f) && f.Kind == mcu.FaultBreak) {

@@ -4,17 +4,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+
+	"repro/internal/faultinject"
 )
 
 // benchFile is one parsed BENCH_* file: its header plus exactly one typed
 // payload, selected by the header's kind (or inferred for legacy files
 // written before the header existed).
 type benchFile struct {
-	path     string
-	meta     BenchMeta
-	interp   *InterpBench
-	profile  *ProfileBench
-	parallel *ParallelBench
+	path      string
+	meta      BenchMeta
+	interp    *InterpBench
+	profile   *ProfileBench
+	parallel  *ParallelBench
+	faultcamp *FaultBench
 }
 
 // loadBenchFile reads and type-detects one BENCH_* file.
@@ -59,6 +63,9 @@ func loadBenchFile(path string) (*benchFile, error) {
 	case "parallel":
 		f.parallel = new(ParallelBench)
 		err = json.Unmarshal(raw, f.parallel)
+	case "faultcampaign":
+		f.faultcamp = new(FaultBench)
+		err = json.Unmarshal(raw, f.faultcamp)
 	default:
 		return nil, fmt.Errorf("%s: unknown benchmark kind %q", path, kind)
 	}
@@ -197,6 +204,43 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 		}
 		for name := range byName {
 			missing("sweep", name)
+		}
+	case "faultcampaign":
+		o, n := oldF.faultcamp, newF.faultcamp
+		byName := make(map[string]faultinject.Report, len(o.Benchmarks))
+		for _, b := range o.Benchmarks {
+			byName[b.Benchmark] = b
+		}
+		for _, nb := range n.Benchmarks {
+			ob, ok := byName[nb.Benchmark]
+			if !ok {
+				missing("benchmark", nb.Benchmark)
+				continue
+			}
+			delete(byName, nb.Benchmark)
+			// One row per verdict seen on either side. Containment
+			// verdicts improve upward; escapes and breaches improve
+			// downward.
+			var verdicts []string
+			seen := make(map[string]bool, len(ob.Verdicts)+len(nb.Verdicts))
+			for _, m := range []map[string]int{ob.Verdicts, nb.Verdicts} {
+				for v := range m {
+					if !seen[v] {
+						seen[v] = true
+						verdicts = append(verdicts, v)
+					}
+				}
+			}
+			sort.Strings(verdicts)
+			for _, v := range verdicts {
+				higherBetter := v == faultinject.VerdictContainedFault ||
+					v == faultinject.VerdictContainedRecovered
+				rows = append(rows, compareRow{nb.Benchmark, v, "trials",
+					float64(ob.Verdicts[v]), float64(nb.Verdicts[v]), higherBetter})
+			}
+		}
+		for name := range byName {
+			missing("benchmark", name)
 		}
 	}
 

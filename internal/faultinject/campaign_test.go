@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestGoldenRunsClean boots every campaign benchmark uninjected and demands
+// a clean exit — the precondition differential replay stands on.
+func TestGoldenRunsClean(t *testing.T) {
+	for i, b := range Benchmarks() {
+		b, i := b, i
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunBenchmark(b, Spec{Seed: 1, Trials: 0}, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.GoldenCycles == 0 {
+				t.Fatal("golden run reported zero cycles")
+			}
+			t.Logf("%s: golden exit at %d cycles", b.Name, rep.GoldenCycles)
+		})
+	}
+}
+
+// TestCampaignSmoke runs a few trials on every benchmark and logs the
+// verdict spread.
+func TestCampaignSmoke(t *testing.T) {
+	for i, b := range Benchmarks() {
+		b, i := b, i
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunBenchmark(b, Spec{Seed: 1, Trials: 12}, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := json.Marshal(rep.Verdicts)
+			t.Logf("%s: %s", b.Name, data)
+			for _, tr := range rep.Trials {
+				t.Logf("  #%d %s %s -> %s (%s)", tr.Trial, tr.Kind, tr.Site, tr.Verdict, tr.Detail)
+			}
+		})
+	}
+}
+
+// TestCampaignDeterministic repeats one benchmark's trials and demands an
+// identical report.
+func TestCampaignDeterministic(t *testing.T) {
+	b := Benchmarks()[7] // radiosink: the most injection-sensitive workload
+	a, err := RunBenchmark(b, Spec{Seed: 42, Trials: 6}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunBenchmark(b, Spec{Seed: 42, Trials: 6}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, c)
+	}
+}

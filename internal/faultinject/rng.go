@@ -1,0 +1,38 @@
+package faultinject
+
+// rng is a splitmix64 stream: tiny, fast, and — unlike math/rand — stable
+// across Go releases, which the golden containment table depends on. Each
+// trial derives its own stream from (seed, benchmark, trial), so trials are
+// independent of execution order: the pooled sweep draws the same sites as
+// the serial one.
+type rng struct{ s uint64 }
+
+// newTrialRNG folds the campaign seed and the trial coordinates into one
+// stream. The mixing constants are splitmix64's own; running each component
+// through a full mix step keeps nearby (bench, trial) pairs uncorrelated.
+func newTrialRNG(seed uint64, bench, trial int) *rng {
+	r := &rng{s: seed}
+	r.s = mix(r.s + 0x9E3779B97F4A7C15*uint64(bench+1))
+	r.s = mix(r.s + 0x9E3779B97F4A7C15*uint64(trial+1))
+	return r
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// next advances the stream and returns 64 fresh bits.
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	return mix(r.s)
+}
+
+// intn returns a value in [0, n). n must be positive. The modulo bias is
+// irrelevant at campaign scale (n is at most a few thousand against 2^64).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// byteVal returns one random byte.
+func (r *rng) byteVal() byte { return byte(r.next()) }

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/image"
+
+	"repro/internal/avr/asm"
+)
+
+// Witness-task parameters. The pattern lives in .data, so it is present
+// from boot (no fill window) and time-invariant: snapshots taken at any
+// cycle of any run compare equal unless something actually corrupted it.
+const (
+	sentinelPatLen  = 32
+	sentinelPatSeed = 0xA5
+	sentinelPatStep = 7
+)
+
+// sentinelPattern returns the witness pattern byte at index i.
+func sentinelPattern(i int) byte {
+	return byte(sentinelPatSeed + sentinelPatStep*i)
+}
+
+// SentinelProgram assembles the cross-task witness: a task whose heap holds
+// a known pattern and whose only job is to re-verify it forever. It never
+// exits; a campaign trial ends at the victim's exit or the cycle budget.
+// If the pattern ever changes, the sentinel stamps 0xBEEF into its flag
+// word — but detection does not depend on it getting scheduled: the
+// campaign compares the raw pattern bytes against the golden run too.
+func SentinelProgram() *image.Program {
+	bytes := make([]string, sentinelPatLen)
+	for i := range bytes {
+		bytes[i] = fmt.Sprintf("0x%02X", sentinelPattern(i))
+	}
+	src := fmt.Sprintf(`
+.data
+pat:  .db %s
+flag: .space 2
+.text
+main:
+verify:
+    ldi r26, lo8(pat)
+    ldi r27, hi8(pat)
+    ldi r16, %d
+    ldi r17, 0x%02X
+chk:
+    ld r18, X+
+    cp r18, r17
+    brne corrupt
+    subi r17, -%d
+    dec r16
+    brne chk
+    rjmp verify
+corrupt:
+    ldi r16, 0xEF
+    sts flag, r16
+    ldi r16, 0xBE
+    sts flag+1, r16
+spin:
+    rjmp spin
+`, strings.Join(bytes, ", "), sentinelPatLen, sentinelPatSeed, sentinelPatStep)
+	return asm.MustAssemble("sentinel", src)
+}
+
+// RadioSink assembles the campaign's deliberately vulnerable receiver: it
+// polls the radio for up to `frames` frames, treats the first byte of each
+// as a length prefix, and copies that many bytes into an 8-byte buffer with
+// no bounds check — the canonical smashable parser. An uninjected run sees
+// no frames, exhausts its poll budget, and exits with count 0; hostile
+// payloads either stay inside the heap (count clobbered: a silent-
+// corruption escape the golden table documents) or run off the region and
+// meet the kernel's address check.
+func RadioSink(frames int) *image.Program {
+	src := fmt.Sprintf(`
+.equ FRAMES, %d
+.data
+buf:   .space 8
+count: .space 2
+.text
+main:
+    ldi r22, FRAMES
+again:
+    ldi r20, 0xFF        ; poll budget ~0x02FF iterations
+    ldi r21, 0x02
+poll:
+    in r16, RSR
+    sbrc r16, 1          ; RxOK?
+    rjmp recv
+    subi r20, 1
+    sbci r21, 0
+    brne poll
+    rjmp done            ; budget exhausted: no (more) frames
+recv:
+    in r17, RDR          ; attacker-controlled length prefix
+    tst r17
+    breq counted         ; empty frame
+    ldi r26, lo8(buf)
+    ldi r27, hi8(buf)
+copy:
+    in r16, RSR
+    sbrs r16, 1
+    rjmp copy            ; short frame wedges here: livelock by design
+    in r16, RDR
+    st X+, r16           ; unchecked: oversized frames overflow buf
+    dec r17
+    brne copy
+counted:
+    lds r18, count
+    lds r19, count+1
+    subi r18, 0xFF       ; count++
+    sbci r19, 0xFF
+    sts count, r18
+    sts count+1, r19
+    dec r22
+    brne again
+done:
+    lds r24, count
+    lds r25, count+1
+    rcall report16
+    break
+%s`, frames, reportLibTail)
+	return asm.MustAssemble(fmt.Sprintf("radiosink-%d", frames), src)
+}
+
+// reportLibTail is the same sense-and-send reporting tail the seven kernel
+// benchmarks share (internal/progs); the radiosink reports its frame count
+// through it so its UART output exercises the full comparison surface.
+const reportLibTail = `
+report16:
+    push r16
+    mov r16, r25
+    rcall puthex8
+    mov r16, r24
+    rcall puthex8
+    ldi r16, 10
+    rcall putc
+    pop r16
+    ret
+puthex8:
+    push r16
+    swap r16
+    rcall puthexn
+    pop r16
+puthexn:
+    andi r16, 0x0F
+    cpi r16, 10
+    brlo hexdigit
+    subi r16, -7
+hexdigit:
+    subi r16, -48
+putc:
+    in r17, UCSR0A
+    sbrs r17, 5
+    rjmp putc
+    out UDR0, r16
+    ret
+`

@@ -1,0 +1,58 @@
+package kernel
+
+import "repro/internal/rewriter"
+
+// FaultRecord attributes one contained fault to the task that caused it and,
+// when the fault fired inside a kernel service, to the service class that was
+// executing on the task's behalf. The fault-injection harness reads the log
+// to name the offending task and service in its containment verdicts; the
+// kernel appends to it on every abnormal termination and never trims it.
+type FaultRecord struct {
+	// Cycle is the simulated cycle at which the fault was attributed.
+	Cycle uint64 `json:"cycle"`
+	// Task / Name identify the offending task.
+	Task int    `json:"task"`
+	Name string `json:"name"`
+	// Service is the kernel service class in flight when the fault fired
+	// (0 = the task was executing natively, outside any service).
+	Service rewriter.Class `json:"service,omitempty"`
+	// Kind is the fault classification (mcu fault kind string or a
+	// kernel-level class like "invalid logical address").
+	Kind string `json:"kind"`
+	// PC is the flash word address the fault is attributed to; Sym is its
+	// symbolized form.
+	PC  uint32 `json:"pc"`
+	Sym string `json:"sym"`
+	// Reason is the full human-readable termination reason.
+	Reason string `json:"reason"`
+}
+
+// ServiceName renders the in-flight service of a record ("native" when the
+// fault fired outside any kernel service).
+func (r FaultRecord) ServiceName() string {
+	if r.Service == 0 {
+		return "native"
+	}
+	return ServiceName(uint64(r.Service))
+}
+
+// recordFault appends one attribution record for t. Call it at the fault
+// site, before terminate, so the record carries the in-flight service class
+// and the pre-reschedule cycle stamp.
+func (k *Kernel) recordFault(t *Task, kind string, pc uint32, reason string) {
+	k.FaultLog = append(k.FaultLog, FaultRecord{
+		Cycle: k.M.Cycles(), Task: t.ID, Name: t.Name,
+		Service: k.curService, Kind: kind,
+		PC: pc, Sym: k.sym.Name(pc), Reason: reason,
+	})
+}
+
+// LastFault returns the most recent fault record for task id, if any.
+func (k *Kernel) LastFault(id int) (FaultRecord, bool) {
+	for i := len(k.FaultLog) - 1; i >= 0; i-- {
+		if k.FaultLog[i].Task == id {
+			return k.FaultLog[i], true
+		}
+	}
+	return FaultRecord{}, false
+}

@@ -163,6 +163,15 @@ type Kernel struct {
 	// prof mirrors Cfg.Profile; nil disables every attribution site.
 	prof *profile.Profiler
 
+	// curService tracks the service class a trap dispatch is executing (0 =
+	// none), so fault records can attribute a mid-service fault to the
+	// service acting on the task's behalf.
+	curService rewriter.Class
+
+	// FaultLog accumulates one attribution record per abnormal task
+	// termination (see faultlog.go).
+	FaultLog []FaultRecord
+
 	Stats Stats
 }
 
@@ -515,7 +524,9 @@ func (k *Kernel) Run(limit uint64) error {
 			m.ClearFault()
 			t.spPhys = m.SP()
 			if !k.growStack(t, k.Cfg.RedZone) {
-				k.terminate(t, "stack overflow: no memory to grow")
+				reason := "stack overflow: no memory to grow"
+				k.recordFault(t, f.Kind.String(), f.PC, reason)
+				k.terminate(t, reason)
 				if k.Done() {
 					return nil
 				}
@@ -530,8 +541,32 @@ func (k *Kernel) Run(limit uint64) error {
 				k.Cfg.Trace.Emit(trace.Event{Cycle: m.Cycles(), Kind: trace.KindMemFault,
 					Task: int32(t.ID), Arg: uint64(f.Addr), PC: f.PC, Detail: k.sym.Name(f.PC)})
 			}
-			k.terminate(t, fmt.Sprintf("memory isolation violation at %#x (pc %#x in %s)",
-				f.Addr, f.PC, k.sym.Name(f.PC)))
+			reason := fmt.Sprintf("memory isolation violation at %#x (pc %#x in %s)",
+				f.Addr, f.PC, k.sym.Name(f.PC))
+			k.recordFault(t, f.Kind.String(), f.PC, reason)
+			k.terminate(t, reason)
+			if k.Done() {
+				return nil
+			}
+		case mcu.FaultBadInst, mcu.FaultBreak, mcu.FaultTrap, mcu.FaultDeadSleep:
+			// "Accesses beyond a task's memory region are intercepted and
+			// treated as invalid instructions" (Section IV-C2) — and an
+			// invalid instruction terminates the offending task, not the
+			// system. These kinds reach here only when execution has gone
+			// off the rails (corrupted code or control flow): contain the
+			// blast radius to the current task and keep the others running.
+			t := k.Current()
+			if t == nil {
+				return err
+			}
+			m.ClearFault()
+			m.Wake() // a corrupted native SLEEP must not outlive its task
+			reason := fmt.Sprintf("%s at pc %#x in %s", f.Kind, f.PC, k.sym.Name(f.PC))
+			if f.Note != "" {
+				reason += " (" + f.Note + ")"
+			}
+			k.recordFault(t, f.Kind.String(), f.PC, reason)
+			k.terminate(t, reason)
 			if k.Done() {
 				return nil
 			}

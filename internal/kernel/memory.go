@@ -265,6 +265,8 @@ func (k *Kernel) faultTask(t *Task, logical uint16) {
 		k.Cfg.Trace.Emit(trace.Event{Cycle: k.M.Cycles(), Kind: trace.KindMemFault,
 			Task: int32(t.ID), Arg: uint64(logical), PC: pc, Detail: k.sym.Name(pc)})
 	}
-	k.terminate(t, fmt.Sprintf("invalid logical address %#x at pc %#x in %s",
-		logical, pc, k.sym.Name(pc)))
+	reason := fmt.Sprintf("invalid logical address %#x at pc %#x in %s",
+		logical, pc, k.sym.Name(pc))
+	k.recordFault(t, "invalid logical address", pc, reason)
+	k.terminate(t, reason)
 }

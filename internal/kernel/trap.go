@@ -14,17 +14,28 @@ import (
 // brackets the dispatch with trap enter/exit trace events, and accounts the
 // cycles the service charged.
 func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
-	if int(id) >= len(k.traps) {
-		return fmt.Errorf("kernel: unknown trap id %d at pc=%#x", id, m.PC())
-	}
 	t := k.Current()
+	if int(id) >= len(k.traps) {
+		if t == nil {
+			return fmt.Errorf("kernel: unknown trap id %d at pc=%#x", id, m.PC())
+		}
+		// Corrupted control flow decoded a stray BREAK whose operand word is
+		// no assigned trap id: treat it like any other invalid instruction
+		// and terminate only the offending task.
+		reason := fmt.Sprintf("invalid trap id %d at pc %#x in %s", id, m.PC(), k.sym.Name(m.PC()))
+		k.recordFault(t, "invalid trap id", m.PC(), reason)
+		k.terminate(t, reason)
+		return nil
+	}
 	if t == nil {
 		return fmt.Errorf("kernel: trap %d with no current task", id)
 	}
 	ref := &k.traps[id]
 	if ref.base != t.Base {
 		// The task jumped into another program's code: isolation violation.
-		k.terminate(t, "control transfer into foreign program")
+		reason := "control transfer into foreign program"
+		k.recordFault(t, "foreign program", m.PC(), reason)
+		k.terminate(t, reason)
 		return nil
 	}
 	k.Stats.ServiceCalls[ref.class]++
@@ -34,9 +45,12 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 	t.spPhys = m.SP()
 	t.noteStackUse()
 
+	k.curService = ref.class
 	r := k.Cfg.Trace
 	if r == nil {
-		return k.dispatch(t, ref)
+		err := k.dispatch(t, ref)
+		k.curService = 0
+		return err
 	}
 	site := m.PC()
 	back := uint64(0)
@@ -47,6 +61,7 @@ func (k *Kernel) handleTrap(m *mcu.Machine, id uint16) error {
 		Task: int32(t.ID), Arg: uint64(ref.class), Arg2: back, PC: site})
 	before := k.Stats.ServiceCycles[ref.class]
 	err := k.dispatch(t, ref)
+	k.curService = 0
 	// Arg2 is the cycles the service proper charged; relocation, switch
 	// and idle cycles inside the window carry their own events, so the
 	// enter-to-exit clock delta decomposes exactly (see trace_cost_test).
@@ -239,7 +254,9 @@ func (k *Kernel) ensureStack(t *Task, need uint16) bool {
 	if k.growStack(t, grow) {
 		return true
 	}
-	k.terminate(t, "stack exhausted: no donor with sufficient surplus")
+	reason := "stack exhausted: no donor with sufficient surplus"
+	k.recordFault(t, "stack exhausted", k.M.PC(), reason)
+	k.terminate(t, reason)
 	return false
 }
 

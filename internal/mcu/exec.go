@@ -75,28 +75,50 @@ func (m *Machine) pushByte(b byte) {
 	m.SetSP(sp - 1)
 }
 
-// popByte pre-increments SP and reads through it.
+// popByte pre-increments SP and reads through it. The guard is checked
+// before SP is committed, so a faulting pop leaves SP where it was and the
+// kernel's retry-after-recovery re-executes the pop exactly.
 func (m *Machine) popByte() byte {
 	sp := m.SP() + 1
-	m.SetSP(sp)
 	if m.guardOn && (sp < m.guardLo || sp >= m.guardHi) {
 		m.faultf(FaultStackOverflow, sp, "pop outside task region")
 		return 0
 	}
+	m.SetSP(sp)
 	if m.memWatch != nil {
 		m.memWatch(m.pc, sp, false)
 	}
 	return m.data[sp%DataSize]
 }
 
-// pushWord pushes low byte first (so memory holds little-endian order).
+// pushWord pushes low byte first (so memory holds little-endian order). Both
+// bytes are guard-checked up front: a word push that cannot complete is
+// transactional — no byte is written and SP does not move — so the kernel's
+// grow-and-retry recovery replays the instruction from pristine state instead
+// of landing the return address one byte low and leaking the partial write.
 func (m *Machine) pushWord(w uint16) {
+	if m.guardOn {
+		sp := m.SP()
+		if sp < m.guardLo+1 || sp >= m.guardHi {
+			m.faultf(FaultStackOverflow, sp, "push outside task region")
+			return
+		}
+	}
 	m.pushByte(byte(w))
 	m.pushByte(byte(w >> 8))
 }
 
-// popWord is the inverse of pushWord.
+// popWord is the inverse of pushWord, with the same transactional guard
+// discipline: both byte addresses are checked before either read or the SP
+// update happens.
 func (m *Machine) popWord() uint16 {
+	if m.guardOn {
+		sp := m.SP()
+		if sp+1 < m.guardLo || sp+2 >= m.guardHi {
+			m.faultf(FaultStackOverflow, sp+1, "pop outside task region")
+			return 0
+		}
+	}
 	hi := m.popByte()
 	lo := m.popByte()
 	return uint16(hi)<<8 | uint16(lo)

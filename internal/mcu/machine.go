@@ -102,6 +102,16 @@ type Machine struct {
 	sampleEvery uint64
 	sampleNext  uint64
 
+	// injectFn, when non-nil, is an armed fault-injection hook: it fires at
+	// the first checked Step whose clock has reached injectAt, then disarms
+	// itself (the hook may re-arm from inside the callback to chain
+	// injections). Nil-disabled like rec and the profiler hooks, and checked
+	// only on the Step path — an armed injector forces Run/RunUntil off the
+	// event-horizon fast loop until it fires, and a disarmed one costs one
+	// pointer comparison per horizon.
+	injectFn func(*Machine)
+	injectAt uint64
+
 	// memWatch, when non-nil, observes successful native SRAM accesses
 	// (loads, stores, pushes, pops) with the physical address; the kernel's
 	// watchpoint adapter translates to logical addresses. Kernel-mediated
@@ -145,6 +155,8 @@ func (m *Machine) Reset() {
 	m.fault = nil
 	m.pending = 0
 	m.guardOn = false
+	m.injectFn = nil
+	m.injectAt = 0
 	m.dev.reset()
 	m.SetSP(DataSize - 1)
 }
@@ -232,6 +244,21 @@ func (m *Machine) fireSample() {
 	next := (m.cycle/m.sampleEvery + 1) * m.sampleEvery
 	m.sampleNext = next
 	m.sampleFn(next - m.sampleEvery)
+}
+
+// SetInjector arms (or, with nil fn, disarms) the fault-injection hook: fn
+// runs once, at the first checked Step whose cycle clock has reached at,
+// with the machine stopped on an instruction boundary (after device sync,
+// before interrupt delivery and dispatch). The hook disarms itself before
+// firing, so fn may call SetInjector again to chain a later injection.
+// While armed, Run/RunUntil take the fully-checked Step path; disarmed, the
+// hook costs one pointer comparison per run-loop horizon.
+func (m *Machine) SetInjector(at uint64, fn func(*Machine)) {
+	m.injectFn = fn
+	m.injectAt = at
+	if fn == nil {
+		m.injectAt = 0
+	}
 }
 
 // SetMemWatch installs (or, with nil, removes) the native-access watchpoint
@@ -395,7 +422,7 @@ func (m *Machine) RunUntil(limit uint64) error {
 			m.fireSample()
 		}
 		if m.fault != nil || m.sleeping || m.pending != 0 ||
-			m.stepwise || m.profInstr != nil || m.rec != nil {
+			m.stepwise || m.profInstr != nil || m.rec != nil || m.injectFn != nil {
 			if err := m.Step(); err != nil {
 				return err
 			}
@@ -470,6 +497,13 @@ func (m *Machine) Step() error {
 	}
 	if m.cycle >= m.dev.nextEvent {
 		m.syncDevices()
+	}
+	if m.injectFn != nil && m.cycle >= m.injectAt {
+		// Disarm before firing so the hook can chain a later injection by
+		// re-arming from inside the callback.
+		fn := m.injectFn
+		m.injectFn = nil
+		fn(m)
 	}
 	if m.pending != 0 && m.data[addrSREG]&flagI != 0 {
 		m.deliverInterrupt()
@@ -562,6 +596,11 @@ func (m *Machine) ClearFault() { m.fault = nil }
 // supervising runtime that patches SLEEP out of application code uses this
 // to re-enter the hardware sleep path after handling the trap.
 func (m *Machine) Sleep() { m.sleeping = true }
+
+// Wake clears sleep mode without delivering an interrupt — the supervising
+// kernel's recovery path when a corrupted task executed a stray SLEEP and
+// was terminated for it.
+func (m *Machine) Wake() { m.sleeping = false }
 
 // Energy model of the MICA2 node (CC1000 mote, 3 V supply): the ATmega128L
 // draws ~8 mA active and ~15 µA in sleep mode. EnergyMilliJoules estimates
