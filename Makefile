@@ -19,6 +19,9 @@
 #   make faultcampaign  short race-enabled fault-injection campaign smoke:
 #                       runs the seeded campaign over the full benchmark
 #                       suite and writes a report to a scratch path
+#   make checkpoint     race-enabled checkpoint/restore smoke: snapshot a
+#                       running two-task workload mid-run with sensmart-sim,
+#                       then restore the blob and run it to completion
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -35,10 +38,14 @@ TELEMETRY_COVER_FLOOR = 75
 # Campaign-engine floor is the ISSUE-mandated 75% (measured 89.7% when
 # introduced).
 FAULTINJECT_COVER_FLOOR = 75
+# Snapshot-codec floor is the ISSUE-mandated 75% (measured 99.5% when
+# introduced: the round-trip, rejection, golden, and fuzz suites cover the
+# whole codec).
+SNAPSHOT_COVER_FLOOR = 75
 
-.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp bench-diff faultcampaign
+.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp bench-diff faultcampaign checkpoint
 
-ci: fmt-check vet build test cover fuzz bench-interp bench-diff faultcampaign
+ci: fmt-check vet build test cover fuzz bench-interp bench-diff faultcampaign checkpoint
 
 build:
 	$(GO) build ./...
@@ -59,7 +66,8 @@ cover:
 	check ./internal/mcu $(MCU_COVER_FLOOR); \
 	check ./internal/profile $(PROFILE_COVER_FLOOR); \
 	check ./internal/telemetry $(TELEMETRY_COVER_FLOOR); \
-	check ./internal/faultinject $(FAULTINJECT_COVER_FLOOR)
+	check ./internal/faultinject $(FAULTINJECT_COVER_FLOOR); \
+	check ./internal/snapshot $(SNAPSHOT_COVER_FLOOR)
 
 vet:
 	$(GO) vet ./...
@@ -99,3 +107,16 @@ bench-diff:
 # `make test`; this target proves the CLI path end to end under -race.
 faultcampaign:
 	$(GO) run -race ./cmd/sensmart-bench -exp faultcampaign -seed 1 -trials 3 -out /tmp/BENCH_faultcampaign_smoke.json
+
+# Race-enabled CLI checkpoint/restore smoke: snapshot a two-task workload
+# mid-run, then resume the written blob to completion. The full resume-
+# identity matrix (all seven benchmarks, every checkpoint kind, serial and
+# pooled) is pinned by TestResumeIdentity* in `make test`; this target proves
+# the sim's -checkpoint/-restore path end to end under -race.
+checkpoint:
+	$(GO) run -race ./cmd/sensmart-sim -cycles 40000000 -copies 2 -stats \
+		-checkpoint-at 500000 -checkpoint /tmp/sensmart_checkpoint_smoke.ssnp \
+		cmd/sensmart-sim/testdata/checkpoint_smoke.s
+	$(GO) run -race ./cmd/sensmart-sim -cycles 40000000 -copies 2 -stats \
+		-restore /tmp/sensmart_checkpoint_smoke.ssnp \
+		cmd/sensmart-sim/testdata/checkpoint_smoke.s

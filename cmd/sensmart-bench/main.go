@@ -14,6 +14,7 @@
 //	sensmart-bench -exp profilebench -out BENCH_profile.json
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 //	sensmart-bench -exp faultcampaign -seed 1 -trials 20 -out BENCH_faultcampaign.json
+//	sensmart-bench -exp warmstart -prefix 2000000 -points 6 -out BENCH_warmstart.json
 //	sensmart-bench -exp interp -out BENCH_interp.json
 //	sensmart-bench -exp interp -baseline BENCH_interp.baseline.json
 //	sensmart-bench -exp compare -old BENCH_interp.baseline.json -new BENCH_interp.json
@@ -57,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|faultcampaign|compare|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|faultcampaign|warmstart|compare|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
@@ -73,6 +74,8 @@ func run(args []string) error {
 	tolerance := fs.Float64("tolerance", 50, "with -exp interp -baseline: allowed %% drop of serial fast MIPS below the baseline; with -exp compare: %% band inside which a metric counts as unchanged (wide band: absolute wall-clock is host-dependent)")
 	seed := fs.Uint64("seed", 1, "with -exp faultcampaign: campaign seed (every trial site derives from it)")
 	trials := fs.Int("trials", 20, "with -exp faultcampaign: injected trials per benchmark")
+	prefix := fs.Uint64("prefix", 2_000_000, "with -exp warmstart: shared warm-up cycles skipped by restoring the checkpoint")
+	points := fs.Int("points", 6, "with -exp warmstart: budget sweep points per pass")
 	oldPath := fs.String("old", "", "with -exp compare: baseline BENCH_*.json file")
 	newPath := fs.String("new", "", "with -exp compare: fresh BENCH_*.json file of the same kind")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines on stderr")
@@ -312,6 +315,25 @@ func run(args []string) error {
 			}
 			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 			fmt.Print(experiment.FaultCampaignTable(b).Render())
+			return nil
+		},
+		"warmstart": func() error {
+			b, err := r.BenchWarmstart(*prefix, *points)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_warmstart.json"
+			}
+			data, err := experiment.WriteBenchFile(path, b)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+			fmt.Printf("warmstart: checkpoint at cycle %d (%d bytes), %d budgets, identical=%v, cold %.2fs vs warm %.2fs (%.2fx)\n",
+				b.CheckpointAt, b.SnapshotBytes, len(b.Budgets), b.Identical,
+				float64(b.ColdWallNS)/1e9, float64(b.WarmWallNS)/1e9, b.Speedup)
 			return nil
 		},
 		"compare": func() error {

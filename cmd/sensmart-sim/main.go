@@ -8,6 +8,7 @@
 //	             [-profile out.pb.gz] [-folded out.folded] [-stackrec out.csv]
 //	             [-watch addr[:len][:r|w|rw]]...
 //	             [-inject KIND:PARAMS@CYCLE]...
+//	             [-checkpoint-at CYCLE -checkpoint out.ssnp] [-restore in.ssnp]
 //	             [-serve :8080] [-telemetry out.ndjson] [-sample N]
 //	             file.{s,json}...
 package main
@@ -30,6 +31,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/minic"
 	"repro/internal/profile"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -45,17 +47,20 @@ func main() {
 // a plain value (counts and booleans, plus which flags were explicitly set)
 // makes the combination rules table-testable without touching the filesystem.
 type simFlags struct {
-	native    bool
-	copies    int
-	programs  int
-	profiling bool // -profile/-folded/-stackrec/-watch
-	stackrec  bool
-	trace     bool
-	metrics   bool
-	stats     bool
-	serve     bool
-	telemetry bool
-	set       map[string]bool // flags the user passed explicitly
+	native     bool
+	copies     int
+	programs   int
+	profiling  bool // -profile/-folded/-stackrec/-watch
+	stackrec   bool
+	trace      bool
+	metrics    bool
+	stats      bool
+	serve      bool
+	telemetry  bool
+	checkpoint bool            // -checkpoint FILE
+	restore    bool            // -restore FILE
+	inject     bool            // at least one -inject
+	set        map[string]bool // flags the user passed explicitly
 }
 
 // validateFlags rejects flag combinations that cannot work together, before
@@ -77,6 +82,18 @@ func validateFlags(f simFlags) error {
 		if f.serve || f.telemetry {
 			return errors.New("-serve/-telemetry sample kernel state; drop -native")
 		}
+		if f.checkpoint || f.restore || f.set["checkpoint-at"] {
+			return errors.New("-checkpoint/-checkpoint-at/-restore snapshot kernel state; drop -native")
+		}
+	}
+	if f.checkpoint && !f.set["checkpoint-at"] {
+		return errors.New("-checkpoint needs -checkpoint-at CYCLE to say when to snapshot")
+	}
+	if f.set["checkpoint-at"] && !f.checkpoint {
+		return errors.New("-checkpoint-at needs -checkpoint FILE to say where to write the snapshot")
+	}
+	if f.inject && (f.checkpoint || f.restore) {
+		return errors.New("an armed fault injection is a pending side effect a snapshot cannot carry; drop -inject or -checkpoint/-restore")
 	}
 	if f.set["stackevery"] && !f.stackrec {
 		return errors.New("-stackevery tunes the stack flight recorder; add -stackrec")
@@ -104,6 +121,9 @@ func run(args []string) error {
 	serve := fs.String("serve", "", "serve the live telemetry dashboard, /metrics (Prometheus), and /api/series over HTTP on this address (e.g. :8080) while the simulation runs")
 	telemetryOut := fs.String("telemetry", "", "stream telemetry samples to this file as NDJSON, one sample per line")
 	sampleEvery := fs.Uint64("sample", telemetry.DefaultEvery, "telemetry sampling interval in simulated cycles (with -serve/-telemetry)")
+	checkpointAt := fs.Uint64("checkpoint-at", 0, "arm a one-shot checkpoint at this simulated cycle (with -checkpoint)")
+	checkpointOut := fs.String("checkpoint", "", "write the checkpoint armed by -checkpoint-at to this file")
+	restoreIn := fs.String("restore", "", "restore state from a checkpoint file instead of booting (deploy the same programs with the same flags)")
 	var watches []profile.Watchpoint
 	fs.Func("watch", "watch a task-logical address: addr[:len][:r|w|rw] (repeatable)", func(s string) error {
 		wp, err := profile.ParseWatch(s)
@@ -131,17 +151,20 @@ func run(args []string) error {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	sf := simFlags{
-		native:    *native,
-		copies:    *copies,
-		programs:  fs.NArg(),
-		profiling: *profileOut != "" || *foldedOut != "" || *stackrecOut != "" || len(watches) > 0,
-		stackrec:  *stackrecOut != "",
-		trace:     *traceOut != "",
-		metrics:   *metrics,
-		stats:     *stats,
-		serve:     *serve != "",
-		telemetry: *telemetryOut != "",
-		set:       set,
+		native:     *native,
+		copies:     *copies,
+		programs:   fs.NArg(),
+		profiling:  *profileOut != "" || *foldedOut != "" || *stackrecOut != "" || len(watches) > 0,
+		stackrec:   *stackrecOut != "",
+		trace:      *traceOut != "",
+		metrics:    *metrics,
+		stats:      *stats,
+		serve:      *serve != "",
+		telemetry:  *telemetryOut != "",
+		checkpoint: *checkpointOut != "",
+		restore:    *restoreIn != "",
+		inject:     len(injections) > 0,
+		set:        set,
 	}
 	if err := validateFlags(sf); err != nil {
 		return err
@@ -213,12 +236,55 @@ func run(args []string) error {
 			}
 		}
 	}
-	if err := sys.Boot(); err != nil {
+	if *restoreIn != "" {
+		blob, err := os.ReadFile(*restoreIn)
+		if err != nil {
+			return err
+		}
+		st, err := snapshot.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restoreIn, err)
+		}
+		if err := sys.Restore(st); err != nil {
+			return fmt.Errorf("restore %s: %w", *restoreIn, err)
+		}
+		fmt.Printf("restored %s: resuming at cycle %d\n", *restoreIn, st.Machine.Cycle)
+	} else if err := sys.Boot(); err != nil {
 		return err
 	}
 	faultinject.ArmAll(sys.Machine(), injections)
+	var ckptErr error
+	ckptCycle := uint64(0)
+	ckptWritten := false
+	if *checkpointOut != "" {
+		sys.ArmCheckpoint(*checkpointAt, func(st *snapshot.State, err error) {
+			var blob []byte
+			if err == nil {
+				blob, err = snapshot.Encode(st)
+			}
+			if err == nil {
+				err = os.WriteFile(*checkpointOut, blob, 0o644)
+			}
+			if err != nil {
+				ckptErr = err
+				return
+			}
+			ckptWritten, ckptCycle = true, st.Machine.Cycle
+		})
+	}
 	if err := sys.Run(*cycles); err != nil {
 		return err
+	}
+	if ckptErr != nil {
+		return fmt.Errorf("checkpoint: %w", ckptErr)
+	}
+	if *checkpointOut != "" {
+		if ckptWritten {
+			fmt.Printf("checkpoint: state at cycle %d written to %s\n", ckptCycle, *checkpointOut)
+		} else {
+			fmt.Printf("checkpoint: cycle %d never reached (run ended at %d); nothing written\n",
+				*checkpointAt, sys.Machine().Cycles())
+		}
 	}
 	m := sys.Machine()
 	fmt.Printf("ran %d cycles (%.3f s simulated), idle %.1f%%, ~%.2f mJ CPU energy\n",

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/snapshot"
 )
 
 const testSrc = `
@@ -89,6 +91,28 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"sample with telemetry stream", simFlags{programs: 1, copies: 1, telemetry: true,
 			set: map[string]bool{"sample": true, "telemetry": true}}, ""},
 		{"serve with profiling", simFlags{programs: 1, copies: 1, serve: true, profiling: true}, ""},
+		{"checkpoint pair", simFlags{programs: 1, copies: 1, checkpoint: true,
+			set: map[string]bool{"checkpoint-at": true, "checkpoint": true}}, ""},
+		{"checkpoint without checkpoint-at", simFlags{programs: 1, copies: 1, checkpoint: true,
+			set: map[string]bool{"checkpoint": true}}, "needs -checkpoint-at"},
+		{"checkpoint-at without checkpoint", simFlags{programs: 1, copies: 1,
+			set: map[string]bool{"checkpoint-at": true}}, "needs -checkpoint FILE"},
+		{"restore alone", simFlags{programs: 1, copies: 1, restore: true,
+			set: map[string]bool{"restore": true}}, ""},
+		{"restore then checkpoint again", simFlags{programs: 1, copies: 1, restore: true, checkpoint: true,
+			set: map[string]bool{"restore": true, "checkpoint": true, "checkpoint-at": true}}, ""},
+		{"restore with native", simFlags{native: true, programs: 1, copies: 1, restore: true,
+			set: map[string]bool{"restore": true}}, "drop -native"},
+		{"checkpoint with native", simFlags{native: true, programs: 1, copies: 1, checkpoint: true,
+			set: map[string]bool{"checkpoint": true, "checkpoint-at": true}}, "drop -native"},
+		{"checkpoint-at with native", simFlags{native: true, programs: 1, copies: 1,
+			set: map[string]bool{"checkpoint-at": true}}, "drop -native"},
+		{"restore with inject", simFlags{programs: 1, copies: 1, restore: true, inject: true,
+			set: map[string]bool{"restore": true, "inject": true}}, "drop -inject"},
+		{"checkpoint with inject", simFlags{programs: 1, copies: 1, checkpoint: true, inject: true,
+			set: map[string]bool{"checkpoint": true, "checkpoint-at": true, "inject": true}}, "drop -inject"},
+		{"inject without snapshotting", simFlags{programs: 1, copies: 1, inject: true,
+			set: map[string]bool{"inject": true}}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,12 +142,74 @@ func TestSimToolRejectsBadCombosBeforeLoading(t *testing.T) {
 		{[]string{"-stackevery", "512", "nonexistent.s"}, "add -stackrec"},
 		{[]string{"-sample", "1000", "nonexistent.s"}, "add -serve or -telemetry"},
 		{[]string{"-native", "-profile", "p.pb.gz", "nonexistent.s"}, "drop -native"},
+		{[]string{"-native", "-restore", "c.ssnp", "nonexistent.s"}, "drop -native"},
+		{[]string{"-checkpoint-at", "1000", "nonexistent.s"}, "needs -checkpoint FILE"},
+		{[]string{"-restore", "c.ssnp", "-inject", "sram:0x200@500", "nonexistent.s"}, "drop -inject"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
 		}
+	}
+}
+
+// loopSrc runs long enough for a mid-run checkpoint to fire.
+const loopSrc = `
+.data
+v: .space 1
+.text
+main:
+    ldi r20, 200
+outer:
+    ldi r16, 255
+spin:
+    dec r16
+    brne spin
+    dec r20
+    brne outer
+    sts v, r20
+    break
+`
+
+func TestSimToolCheckpointRestore(t *testing.T) {
+	src := writeTemp(t, loopSrc)
+	ckpt := filepath.Join(t.TempDir(), "mid.ssnp")
+
+	if err := run([]string{"-cycles", "10000000", "-checkpoint-at", "50000", "-checkpoint", ckpt, src}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	st, err := snapshot.Decode(blob)
+	if err != nil {
+		t.Fatalf("checkpoint file does not decode: %v", err)
+	}
+	if st.Machine.Cycle < 50000 {
+		t.Errorf("checkpoint taken at cycle %d, want >= 50000", st.Machine.Cycle)
+	}
+
+	if err := run([]string{"-cycles", "10000000", "-stats", "-restore", ckpt, src}); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+
+	// Restoring with a different program must fail the image hash check.
+	other := writeTemp(t, testSrc)
+	if err := run([]string{"-restore", ckpt, other}); err == nil {
+		t.Error("restore with a different program succeeded; want image mismatch")
+	}
+}
+
+func TestSimToolCheckpointNotReached(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	ckpt := filepath.Join(t.TempDir(), "never.ssnp")
+	if err := run([]string{"-cycles", "1000000", "-checkpoint-at", "999999999", "-checkpoint", ckpt, src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("unreached checkpoint wrote a file (stat err: %v)", err)
 	}
 }
 

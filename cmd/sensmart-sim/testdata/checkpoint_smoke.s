@@ -1,0 +1,28 @@
+; Long-running loop workload for the checkpoint/restore CI smoke
+; (make checkpoint): roughly two million cycles of compute with one UART
+; byte per outer pass, so a mid-run snapshot carries live device state.
+.data
+sum: .space 2
+.text
+main:
+    ldi r20, 20
+outer:
+    ldi r21, 200
+mid:
+    ldi r16, 250
+spin:
+    dec r16
+    brne spin
+    dec r21
+    brne mid
+    mov r24, r20
+    ori r24, 0x40
+wait:
+    in r17, UCSR0A
+    sbrs r17, 5
+    rjmp wait
+    out UDR0, r24
+    dec r20
+    brne outer
+    sts sum, r20
+    break

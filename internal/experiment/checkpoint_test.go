@@ -1,0 +1,474 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/progs"
+	"repro/internal/snapshot"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// The resume-identity differential suite: for every kernel benchmark,
+// checkpoint at a sampling boundary, inside a trap service window, and at
+// pseudo-random cycles; restore (in-process off a copy-on-write shared image,
+// and through the serialized byte format); run to completion; and require the
+// final Metrics, trace, NDJSON telemetry, and pprof bytes to be
+// byte-identical to the uninterrupted run — serially and under an 8-way
+// worker pool.
+
+const ckptLimit = 4_000_000_000
+
+// ckptObservers is one fully observed system: trace recorder, telemetry
+// sampler, and profiler all attached, so resume identity is pinned over every
+// output stream the repo produces.
+type ckptObservers struct {
+	sys  *core.System
+	rec  *trace.Recorder
+	tel  *telemetry.Sampler
+	prof *profile.Profiler
+}
+
+// ckptSystem builds an observed system with the named kernel benchmark
+// deployed. Every call uses identical observer options, so snapshots transfer
+// between instances.
+func ckptSystem(name string) (*ckptObservers, error) {
+	o := &ckptObservers{
+		rec:  trace.New(),
+		tel:  telemetry.New(telemetry.Options{Ring: 1 << 14}),
+		prof: profile.New(profile.Options{StackInterval: 8192}),
+	}
+	o.sys = core.NewSystem(core.WithTrace(o.rec), core.WithTelemetry(o.tel), core.WithProfile(o.prof))
+	for _, kb := range progs.KernelBenchmarks() {
+		if kb.Name != name {
+			continue
+		}
+		if _, err := o.sys.Deploy(kb.Program); err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", name)
+}
+
+// ckptArtifacts is the four byte streams resume identity is asserted over.
+type ckptArtifacts struct {
+	metrics []byte
+	trace   []byte
+	ndjson  []byte
+	pprof   []byte
+}
+
+func (o *ckptObservers) artifacts() (ckptArtifacts, error) {
+	var a ckptArtifacts
+	a.metrics = []byte(o.sys.Metrics().Render())
+	a.trace = o.rec.Encode()
+	var nb, pb bytes.Buffer
+	if err := o.tel.WriteNDJSON(&nb); err != nil {
+		return a, err
+	}
+	a.ndjson = nb.Bytes()
+	if err := o.prof.WritePprof(&pb); err != nil {
+		return a, err
+	}
+	a.pprof = pb.Bytes()
+	return a, nil
+}
+
+// diff names the first diverging stream, or "" when all four match.
+func (a ckptArtifacts) diff(b ckptArtifacts) string {
+	switch {
+	case !bytes.Equal(a.metrics, b.metrics):
+		return "Metrics rendering"
+	case !bytes.Equal(a.trace, b.trace):
+		return "trace encoding"
+	case !bytes.Equal(a.ndjson, b.ndjson):
+		return "telemetry NDJSON"
+	case !bytes.Equal(a.pprof, b.pprof):
+		return "pprof bytes"
+	}
+	return ""
+}
+
+// ckptPoint is one checkpoint taken during the chained run.
+type ckptPoint struct {
+	kind  string // "boundary", "midtrap", "rand0".."rand2"
+	at    uint64 // nominal arming cycle
+	state *snapshot.State
+	blob  []byte
+}
+
+// ckptFixture is everything the differential passes need for one benchmark:
+// the uninterrupted baseline, the chained-checkpoint parent (kept alive so
+// children can adopt its flash image copy-on-write), and the captured points.
+type ckptFixture struct {
+	name   string
+	base   ckptArtifacts
+	total  uint64
+	parent *ckptObservers
+	points []ckptPoint
+}
+
+var ckptFix struct {
+	once sync.Once
+	list []*ckptFixture
+	err  error
+}
+
+// ckptFixtures builds (once per test binary) the baseline run and the
+// chained-checkpoint run for all seven benchmarks. The chained run itself is
+// the first identity assertion: arming checkpoints must not perturb the
+// trajectory, so its artifacts must equal the uninterrupted baseline's.
+func ckptFixtures(t *testing.T) []*ckptFixture {
+	t.Helper()
+	ckptFix.once.Do(func() {
+		for _, kb := range progs.KernelBenchmarks() {
+			f, err := buildCkptFixture(kb.Name)
+			if err != nil {
+				ckptFix.err = fmt.Errorf("%s: %w", kb.Name, err)
+				return
+			}
+			ckptFix.list = append(ckptFix.list, f)
+		}
+	})
+	if ckptFix.err != nil {
+		t.Fatalf("building checkpoint fixtures: %v", ckptFix.err)
+	}
+	return ckptFix.list
+}
+
+func buildCkptFixture(name string) (*ckptFixture, error) {
+	// Uninterrupted baseline.
+	base, err := ckptSystem(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := base.sys.Boot(); err != nil {
+		return nil, err
+	}
+	if err := base.sys.Run(ckptLimit); err != nil {
+		return nil, err
+	}
+	f := &ckptFixture{name: name, total: base.sys.Machine().Cycles()}
+	if f.base, err = base.artifacts(); err != nil {
+		return nil, err
+	}
+	f.points = ckptPoints(name, f.total, base.rec.Events())
+
+	// Chained run: arm every checkpoint on one system, each callback arming
+	// the next, so a single execution captures all points.
+	parent, err := ckptSystem(name)
+	if err != nil {
+		return nil, err
+	}
+	var capErr error
+	var arm func(i int)
+	arm = func(i int) {
+		parent.sys.ArmCheckpoint(f.points[i].at, func(st *snapshot.State, err error) {
+			if err != nil {
+				capErr = fmt.Errorf("checkpoint %s at %d: %w", f.points[i].kind, f.points[i].at, err)
+				return
+			}
+			f.points[i].state = st
+			if i+1 < len(f.points) {
+				arm(i + 1)
+			}
+		})
+	}
+	arm(0)
+	if err := parent.sys.Boot(); err != nil {
+		return nil, err
+	}
+	if err := parent.sys.Run(ckptLimit); err != nil {
+		return nil, err
+	}
+	if capErr != nil {
+		return nil, capErr
+	}
+	chained, err := parent.artifacts()
+	if err != nil {
+		return nil, err
+	}
+	if d := chained.diff(f.base); d != "" {
+		return nil, fmt.Errorf("arming checkpoints perturbed the run: %s diverges from baseline", d)
+	}
+	for i := range f.points {
+		p := &f.points[i]
+		if p.state == nil {
+			return nil, fmt.Errorf("checkpoint %s at cycle %d never fired (run ended at %d)", p.kind, p.at, f.total)
+		}
+		if p.blob, err = snapshot.Encode(p.state); err != nil {
+			return nil, fmt.Errorf("encode %s: %w", p.kind, err)
+		}
+	}
+	f.parent = parent
+	return f, nil
+}
+
+// ckptPoints selects the arming cycles for one benchmark from its baseline
+// run: a sampler-cadence boundary near the midpoint, a cycle one past a trap
+// entry (so the checkpoint arms inside a kernel service window and quantizes
+// to the next run-loop boundary), and three pseudo-random cycles seeded from
+// the benchmark name.
+func ckptPoints(name string, total uint64, events []trace.Event) []ckptPoint {
+	const cadence = 65536
+	pts := []ckptPoint{{kind: "boundary", at: (total / 2) / cadence * cadence}}
+
+	mid := total / 3 // fallback when no trap window is found
+	for i, e := range events {
+		if e.Kind != trace.KindTrapEnter || e.Cycle < total/4 {
+			continue
+		}
+		for _, x := range events[i+1:] {
+			if x.Kind == trace.KindTrapExit && x.Cycle > e.Cycle+1 {
+				mid = e.Cycle + 1
+			}
+			break
+		}
+		if mid != total/3 {
+			break
+		}
+	}
+	pts = append(pts, ckptPoint{kind: "midtrap", at: mid})
+
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	lo, hi := total/10, total*9/10
+	for i := 0; i < 3; i++ {
+		pts = append(pts, ckptPoint{
+			kind: fmt.Sprintf("rand%d", i),
+			at:   lo + uint64(rng.Int63n(int64(hi-lo))),
+		})
+	}
+
+	slices.SortFunc(pts, func(a, b ckptPoint) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		}
+		return 0
+	})
+	// Duplicate arming cycles would make the chained re-arm fire twice at one
+	// boundary; nudge any collision forward.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].at <= pts[i-1].at {
+			pts[i].at = pts[i-1].at + 1
+		}
+	}
+	return pts
+}
+
+// ckptRestoreRun restores point p of fixture f into a fresh system and runs
+// it to completion, returning the final artifacts. Variant "adopt" restores
+// the in-memory state sharing the parent's flash image copy-on-write;
+// variant "bytes" decodes the serialized blob and restores with a privately
+// loaded image — the exact path a -restore from disk takes.
+func ckptRestoreRun(f *ckptFixture, p *ckptPoint, variant string) (ckptArtifacts, error) {
+	var a ckptArtifacts
+	child, err := ckptSystem(f.name)
+	if err != nil {
+		return a, err
+	}
+	st := p.state
+	if variant == "adopt" {
+		child.sys.AdoptImage(f.parent.sys)
+	} else {
+		if st, err = snapshot.Decode(p.blob); err != nil {
+			return a, err
+		}
+	}
+	if err := child.sys.Restore(st); err != nil {
+		return a, err
+	}
+	if err := child.sys.Run(ckptLimit); err != nil {
+		return a, err
+	}
+	return child.artifacts()
+}
+
+// TestResumeIdentitySerial pins resume identity benchmark by benchmark: every
+// checkpoint kind, restored both in-process and through the byte format, must
+// finish with artifacts byte-identical to the uninterrupted run.
+func TestResumeIdentitySerial(t *testing.T) {
+	for _, f := range ckptFixtures(t) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			for i := range f.points {
+				p := &f.points[i]
+				for _, variant := range []string{"adopt", "bytes"} {
+					got, err := ckptRestoreRun(f, p, variant)
+					if err != nil {
+						t.Fatalf("%s/%s at cycle %d: %v", p.kind, variant, p.at, err)
+					}
+					if d := got.diff(f.base); d != "" {
+						t.Errorf("%s/%s at cycle %d: %s diverges from uninterrupted run", p.kind, variant, p.at, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResumeIdentityPooled runs the identical benchmark x point x variant
+// matrix through the experiment worker pool at 8 workers — the warm-
+// checkpoint fan-out shape — so the copy-on-write image sharing and restore
+// paths are exercised concurrently (and, under -race, checked for races).
+func TestResumeIdentityPooled(t *testing.T) {
+	fixtures := ckptFixtures(t)
+	type job struct {
+		f       *ckptFixture
+		p       *ckptPoint
+		variant string
+	}
+	var jobs []job
+	for _, f := range fixtures {
+		for i := range f.points {
+			for _, variant := range []string{"adopt", "bytes"} {
+				jobs = append(jobs, job{f, &f.points[i], variant})
+			}
+		}
+	}
+	diffs, err := runPoints(8, len(jobs), func(i int) (string, error) {
+		j := jobs[i]
+		got, err := ckptRestoreRun(j.f, j.p, j.variant)
+		if err != nil {
+			return "", fmt.Errorf("%s %s/%s at cycle %d: %w", j.f.name, j.p.kind, j.variant, j.p.at, err)
+		}
+		if d := got.diff(j.f.base); d != "" {
+			return fmt.Sprintf("%s %s/%s at cycle %d: %s diverges", j.f.name, j.p.kind, j.variant, j.p.at, d), nil
+		}
+		return "", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		if d != "" {
+			t.Error(d)
+		}
+	}
+}
+
+// TestRestoreDoesNotAliasSnapshot scribbles over every mutable buffer of a
+// snapshot after restoring from it; the restored run must be unaffected, and
+// the snapshot must re-encode to the same bytes it decoded from until the
+// scribble. Catches restored systems keeping references into snapshot slices
+// (device output buffers, sampler rings, trace events, task registers).
+func TestRestoreDoesNotAliasSnapshot(t *testing.T) {
+	fixtures := ckptFixtures(t)
+	f := fixtures[0]
+	p := &f.points[len(f.points)/2]
+
+	st, err := snapshot.Decode(p.blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := ckptSystem(f.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.sys.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deface everything reachable through the decoded state.
+	for i := range st.Machine.Data {
+		st.Machine.Data[i] ^= 0xA5
+	}
+	for i := range st.Machine.Dev.UARTOut {
+		st.Machine.Dev.UARTOut[i] ^= 0xA5
+	}
+	for i := range st.Machine.Dev.RadioOut {
+		st.Machine.Dev.RadioOut[i].Byte ^= 0xA5
+		st.Machine.Dev.RadioOut[i].Cycle ^= 0xFFFF
+	}
+	for i := range st.Machine.Dev.RadioIn {
+		st.Machine.Dev.RadioIn[i] ^= 0xA5
+	}
+	for i := range st.Kernel.Tasks {
+		tk := &st.Kernel.Tasks[i]
+		for j := range tk.Regs {
+			tk.Regs[j] ^= 0xA5
+		}
+		tk.PC ^= 0xFFFF
+		tk.ServiceCalls[0] ^= 0xFFFF
+	}
+	if st.Trace != nil {
+		for i := range st.Trace.Events {
+			st.Trace.Events[i].Cycle ^= 0xFFFF
+			st.Trace.Events[i].Detail = "scribbled"
+		}
+	}
+	if st.Telemetry != nil {
+		for i := range st.Telemetry.Samples {
+			s := &st.Telemetry.Samples[i]
+			s.Cycle ^= 0xFFFF
+			for j := range s.Tasks {
+				s.Tasks[j].RunCycles ^= 0xFFFF
+			}
+		}
+		for i := range st.Telemetry.TaskNames {
+			st.Telemetry.TaskNames[i] = "scribbled"
+		}
+	}
+	if st.Profile != nil {
+		for i := range st.Profile.Tasks {
+			tp := &st.Profile.Tasks[i]
+			for j := range tp.PCs {
+				tp.PCs[j].Cycles ^= 0xFFFF
+			}
+			for j := range tp.Ring {
+				tp.Ring[j].Used ^= 0xFFFF
+			}
+		}
+	}
+
+	if err := child.sys.Run(ckptLimit); err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.artifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.diff(f.base); d != "" {
+		t.Errorf("scribbling the snapshot after restore changed the run: %s diverges", d)
+	}
+}
+
+// TestConcurrentAdoptRestore fans eight children out of one parent at once:
+// every child adopts the parent's image copy-on-write, restores the same
+// in-memory snapshot, and runs to completion on its own goroutine. All eight
+// must match the baseline; under -race this pins the shared-image fan-out as
+// race-free.
+func TestConcurrentAdoptRestore(t *testing.T) {
+	fixtures := ckptFixtures(t)
+	f := fixtures[len(fixtures)-1]
+	p := &f.points[0]
+
+	diffs, err := runPoints(8, 8, func(int) (string, error) {
+		got, err := ckptRestoreRun(f, p, "adopt")
+		if err != nil {
+			return "", err
+		}
+		return got.diff(f.base), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range diffs {
+		if d != "" {
+			t.Errorf("child %d: %s diverges from uninterrupted run", i, d)
+		}
+	}
+}

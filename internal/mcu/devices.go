@@ -37,10 +37,13 @@ type devices struct {
 	t0BaseCount uint16
 	t0Prescale  uint32 // 0 = stopped
 
-	// ADC.
+	// ADC. adcSource, when non-nil, overrides the built-in LFSR sensor;
+	// adcLFSR is the built-in generator's register, held as plain data so a
+	// checkpoint can serialize the stream position (a closure could not be).
 	adcBusyUntil uint64
 	adcPending   bool
 	adcSource    func(channel uint8) uint16
+	adcLFSR      uint16
 
 	// UART.
 	uartBusyUntil uint64
@@ -57,21 +60,22 @@ type devices struct {
 }
 
 func (d *devices) reset() {
-	*d = devices{nextEvent: noEvent, adcSource: d.adcSource}
-	if d.adcSource == nil {
-		d.adcSource = defaultADCSource()
-	}
+	*d = devices{nextEvent: noEvent, adcSource: d.adcSource, adcLFSR: adcLFSRSeed}
 }
 
-// defaultADCSource is a 16-bit LFSR producing deterministic pseudo-random
-// 10-bit "sensor" readings.
-func defaultADCSource() func(uint8) uint16 {
-	state := uint16(0xACE1)
-	return func(channel uint8) uint16 {
-		bit := (state ^ state>>2 ^ state>>3 ^ state>>5) & 1
-		state = state>>1 | bit<<15
-		return (state + uint16(channel)*37) & 0x3FF
+// adcLFSRSeed is the reset state of the built-in ADC noise generator.
+const adcLFSRSeed = 0xACE1
+
+// adcSample produces the next synthetic sensor reading: the custom source if
+// one is installed, otherwise a 16-bit LFSR producing deterministic
+// pseudo-random 10-bit values.
+func (d *devices) adcSample(channel uint8) uint16 {
+	if d.adcSource != nil {
+		return d.adcSource(channel)
 	}
+	bit := (d.adcLFSR ^ d.adcLFSR>>2 ^ d.adcLFSR>>3 ^ d.adcLFSR>>5) & 1
+	d.adcLFSR = d.adcLFSR>>1 | bit<<15
+	return (d.adcLFSR + uint16(channel)*37) & 0x3FF
 }
 
 // SetADCSource installs a synthetic sensor: the function is called once per
@@ -122,7 +126,7 @@ func (m *Machine) syncDevices() {
 
 	// ADC completion.
 	if d.adcPending && now >= d.adcBusyUntil {
-		v := d.adcSource(m.data[IOBase+ioregs.ADMUX] & 7)
+		v := d.adcSample(m.data[IOBase+ioregs.ADMUX] & 7)
 		m.data[IOBase+ioregs.ADCL] = byte(v)
 		m.data[IOBase+ioregs.ADCH] = byte(v >> 8)
 		m.data[IOBase+ioregs.ADCSRA] &^= ioregs.ADSC

@@ -8,6 +8,7 @@ package mcu
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/avr"
 	"repro/internal/trace"
@@ -61,7 +62,15 @@ type TrapHandler func(m *Machine, id uint16) error
 
 // Machine is one simulated node. The zero value is not usable; call New.
 type Machine struct {
-	flash [FlashWords]uint16
+	// flash is held behind a pointer so machines restored from a snapshot
+	// can share the parent's immutable program image (AdoptImage).
+	// flashShared marks a shared array: any writer copies it first.
+	// adoptMu serializes AdoptImage calls against this machine as the
+	// parent, so many children can fan out of one warm parent concurrently.
+	flash       *[FlashWords]uint16
+	flashShared bool
+	adoptMu     sync.Mutex
+
 	data  [DataSize]byte
 	pc    uint32
 	cycle uint64
@@ -133,15 +142,84 @@ type Machine struct {
 	// The fixed-size array lets a pc & (FlashWords-1) index elide its
 	// bounds check, and the pointer-free uop keeps the 64 Ki entries out
 	// of garbage-collector scans.
-	uops    *[FlashWords]uop
-	codeEnd uint32 // highest loaded word + 1, for diagnostics
+	uops *[FlashWords]uop
+	// uopsShared marks a micro-op cache shared with another machine via
+	// AdoptImage: a machine that needs to fill or flush entries copies (or
+	// reallocates) the array first, so concurrently running machines never
+	// write a shared array.
+	uopsShared bool
+	codeEnd    uint32 // highest loaded word + 1, for diagnostics
+
+	// ckptFn, when non-nil, is an armed checkpoint hook: it fires at the
+	// first RunUntil outer-loop boundary whose clock has reached ckptAt,
+	// then disarms itself (the hook may re-arm from inside the callback to
+	// chain checkpoints). Unlike the injector it is never checked on the
+	// Step path and never forces execution off the event-horizon fast loop,
+	// so arming it cannot perturb the run's trajectory — the firing point
+	// quantizes to the same loop boundaries an attached sampler sees.
+	ckptFn func(at uint64)
+	ckptAt uint64
 }
 
 // New returns a reset machine with empty flash.
 func New() *Machine {
-	m := &Machine{uops: new([FlashWords]uop)}
+	m := &Machine{flash: new([FlashWords]uint16), uops: new([FlashWords]uop)}
 	m.Reset()
 	return m
+}
+
+// ownFlash copies a shared flash array before the first write to it.
+func (m *Machine) ownFlash() {
+	if m.flashShared {
+		f := new([FlashWords]uint16)
+		*f = *m.flash
+		m.flash = f
+		m.flashShared = false
+	}
+}
+
+// ownUops copies a shared micro-op cache before the first write to it.
+func (m *Machine) ownUops() {
+	if m.uopsShared {
+		u := new([FlashWords]uop)
+		*u = *m.uops
+		m.uops = u
+		m.uopsShared = false
+	}
+}
+
+// AdoptImage shares parent's flash and predecoded micro-op cache with m,
+// copy-on-write: both machines keep executing from the same arrays until one
+// of them writes (LoadFlash, a cache fill, SetTrapHandler), at which point
+// the writer copies its own private array first. The parent must be
+// quiescent (not inside Run/Step), but many children may adopt the same
+// parent from different goroutines — adopters serialize on the parent's
+// mutex, and after adoption the shared arrays are only ever read. The caller
+// is responsible for m's flash contents matching parent's — RestoreState's
+// image hash enforces this on the snapshot path.
+func (m *Machine) AdoptImage(parent *Machine) {
+	parent.adoptMu.Lock()
+	defer parent.adoptMu.Unlock()
+	m.flash = parent.flash
+	m.uops = parent.uops
+	m.codeEnd = parent.codeEnd
+	m.flashShared, m.uopsShared = true, true
+	parent.flashShared, parent.uopsShared = true, true
+}
+
+// SetCheckpoint arms (or, with nil fn, disarms) the checkpoint hook: fn runs
+// once, with the nominal arming cycle, at the first RunUntil outer-loop
+// iteration whose clock has reached at. The hook disarms itself before
+// firing, so fn may call SetCheckpoint again to chain a later checkpoint.
+// The hook is deliberately not a per-Step check: it fires only at run-loop
+// boundaries (after device horizons, traps, or checked ops), so arming it
+// never changes which execution path the machine takes.
+func (m *Machine) SetCheckpoint(at uint64, fn func(at uint64)) {
+	m.ckptFn = fn
+	m.ckptAt = at
+	if fn == nil {
+		m.ckptAt = 0
+	}
 }
 
 // Reset clears CPU and device state but leaves flash contents alone.
@@ -166,6 +244,8 @@ func (m *Machine) LoadFlash(base uint32, words []uint16) error {
 	if int(base)+len(words) > FlashWords {
 		return fmt.Errorf("mcu: flash overflow: base %#x + %d words", base, len(words))
 	}
+	m.ownFlash()
+	m.ownUops()
 	copy(m.flash[base:], words)
 	clear(m.uops[base : int(base)+len(words)])
 	// A cached 32-bit instruction starting at base-1 holds the old word at
@@ -187,6 +267,13 @@ func (m *Machine) FlashWord(addr uint32) uint16 { return m.flash[addr&(FlashWord
 // decodes as KTRAP (the micro-op cache is flushed to apply the change).
 func (m *Machine) SetTrapHandler(h TrapHandler) {
 	m.trap = h
+	if m.uopsShared {
+		// The flush would clobber the other sharer's cache; allocate a
+		// fresh zeroed array instead of copying one we are about to clear.
+		m.uops = new([FlashWords]uop)
+		m.uopsShared = false
+		return
+	}
 	clear(m.uops[:])
 }
 
@@ -421,6 +508,13 @@ func (m *Machine) RunUntil(limit uint64) error {
 		if m.sampleFn != nil && m.cycle >= m.sampleNext {
 			m.fireSample()
 		}
+		if m.ckptFn != nil && m.cycle >= m.ckptAt {
+			// Disarm before firing so the hook can chain checkpoints by
+			// re-arming from inside the callback.
+			fn, at := m.ckptFn, m.ckptAt
+			m.ckptFn = nil
+			fn(at)
+		}
 		if m.fault != nil || m.sleeping || m.pending != 0 ||
 			m.stepwise || m.profInstr != nil || m.rec != nil || m.injectFn != nil {
 			if err := m.Step(); err != nil {
@@ -447,6 +541,9 @@ func (m *Machine) RunUntil(limit uint64) error {
 				if err := m.buildUop(pc); err != nil {
 					return m.faultf(FaultBadInst, 0, err.Error())
 				}
+				// buildUop may have copied a shared cache out from under
+				// us (copy-on-write); re-point at the live array.
+				u = &m.uops[pc]
 			}
 			m.insts++
 			// Direct calls for the hottest opcodes (measured over the kernel

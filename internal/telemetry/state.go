@@ -1,0 +1,80 @@
+package telemetry
+
+import "fmt"
+
+// SamplerState is the serializable state of a Sampler: the retained window
+// (chronological), the lifetime counter, and the task registry, so a
+// restored run's NDJSON export is byte-identical to an uninterrupted one.
+type SamplerState struct {
+	Every     uint64
+	Ring      int
+	Total     uint64
+	Samples   []Sample
+	TaskIDs   []int32
+	TaskNames []string
+}
+
+func cloneSample(smp Sample) Sample {
+	smp.Tasks = append([]TaskSample(nil), smp.Tasks...)
+	return smp
+}
+
+// CaptureState snapshots the sampler. Samples are deep-copied (including the
+// per-task slices) in chronological order, so the state stays valid while
+// the sampler keeps recording.
+func (s *Sampler) CaptureState() *SamplerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &SamplerState{
+		Every:     s.every,
+		Ring:      s.ring,
+		Total:     s.total,
+		Samples:   make([]Sample, 0, len(s.samples)),
+		TaskIDs:   append([]int32(nil), s.order...),
+		TaskNames: make([]string, 0, len(s.order)),
+	}
+	for _, smp := range s.samples[s.next:] {
+		st.Samples = append(st.Samples, cloneSample(smp))
+	}
+	for _, smp := range s.samples[:s.next] {
+		st.Samples = append(st.Samples, cloneSample(smp))
+	}
+	for _, id := range s.order {
+		st.TaskNames = append(st.TaskNames, s.names[id])
+	}
+	return st
+}
+
+// RestoreState replaces the sampler's contents with a captured state. The
+// target must have been constructed with the same interval and ring size.
+// Samples are deep-copied, so sampler and state never alias; the restored
+// window is stored chronologically with the write index at zero, which is
+// indistinguishable from the source ring to every reader and writer.
+func (s *Sampler) RestoreState(st *SamplerState) error {
+	if len(st.TaskIDs) != len(st.TaskNames) {
+		return fmt.Errorf("telemetry: snapshot task registry is malformed (%d ids, %d names)",
+			len(st.TaskIDs), len(st.TaskNames))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.every != st.Every || s.ring != st.Ring {
+		return fmt.Errorf("telemetry: sampler interval/ring %d/%d differ from snapshot's %d/%d",
+			s.every, s.ring, st.Every, st.Ring)
+	}
+	if len(st.Samples) > s.ring {
+		return fmt.Errorf("telemetry: snapshot retains %d samples, over the %d-sample ring",
+			len(st.Samples), s.ring)
+	}
+	s.samples = make([]Sample, 0, len(st.Samples))
+	for _, smp := range st.Samples {
+		s.samples = append(s.samples, cloneSample(smp))
+	}
+	s.next = 0 // chronological storage: on a full ring, index 0 is oldest
+	s.total = st.Total
+	s.names = make(map[int32]string, len(st.TaskIDs))
+	s.order = append([]int32(nil), st.TaskIDs...)
+	for i, id := range st.TaskIDs {
+		s.names[id] = st.TaskNames[i]
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package trace
+
+// RecorderState is the serializable state of a Recorder: the retained event
+// stream plus the drop ledger, so a restored run's final trace is
+// byte-identical to an uninterrupted one.
+type RecorderState struct {
+	Limit   int
+	Events  []Event
+	Dropped uint64
+}
+
+// CaptureState snapshots the recorder. The event slice is copied, so the
+// state stays valid while the recorder keeps appending.
+func (r *Recorder) CaptureState() *RecorderState {
+	return &RecorderState{
+		Limit:   r.Limit,
+		Events:  append([]Event(nil), r.events...),
+		Dropped: r.dropped,
+	}
+}
+
+// RestoreState replaces the recorder's contents with a captured state,
+// copying the event slice so recorder and state never alias.
+func (r *Recorder) RestoreState(st *RecorderState) {
+	r.Limit = st.Limit
+	r.events = append([]Event(nil), st.Events...)
+	r.dropped = st.Dropped
+}
