@@ -22,6 +22,9 @@
 #   make checkpoint     race-enabled checkpoint/restore smoke: snapshot a
 #                       running two-task workload mid-run with sensmart-sim,
 #                       then restore the blob and run it to completion
+#   make energy         race-enabled energy smoke: short -exp energy run
+#                       (kernel benchmarks + baselines on the joules axis)
+#                       to a scratch path, verdict table printed
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -42,10 +45,14 @@ FAULTINJECT_COVER_FLOOR = 75
 # introduced: the round-trip, rejection, golden, and fuzz suites cover the
 # whole codec).
 SNAPSHOT_COVER_FLOOR = 75
+# Energy-ledger and trace floors are the ISSUE-mandated 75% (measured 100%
+# and 93.6% when introduced).
+ENERGY_COVER_FLOOR = 75
+TRACE_COVER_FLOOR = 75
 
-.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp bench-diff faultcampaign checkpoint
+.PHONY: ci build vet test cover fmt-check fuzz bench bench-parallel bench-interp bench-diff faultcampaign checkpoint energy
 
-ci: fmt-check vet build test cover fuzz bench-interp bench-diff faultcampaign checkpoint
+ci: fmt-check vet build test cover fuzz bench-interp bench-diff faultcampaign checkpoint energy
 
 build:
 	$(GO) build ./...
@@ -67,7 +74,9 @@ cover:
 	check ./internal/profile $(PROFILE_COVER_FLOOR); \
 	check ./internal/telemetry $(TELEMETRY_COVER_FLOOR); \
 	check ./internal/faultinject $(FAULTINJECT_COVER_FLOOR); \
-	check ./internal/snapshot $(SNAPSHOT_COVER_FLOOR)
+	check ./internal/snapshot $(SNAPSHOT_COVER_FLOOR); \
+	check ./internal/energy $(ENERGY_COVER_FLOOR); \
+	check ./internal/trace $(TRACE_COVER_FLOOR)
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +91,7 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/sensmart-bench -exp profilebench -out BENCH_profile.json
+	$(GO) run ./cmd/sensmart-bench -exp energy -activations 300 -out BENCH_energy.json
 	$(MAKE) bench-interp
 
 bench-parallel:
@@ -120,3 +130,12 @@ checkpoint:
 	$(GO) run -race ./cmd/sensmart-sim -cycles 40000000 -copies 2 -stats \
 		-restore /tmp/sensmart_checkpoint_smoke.ssnp \
 		cmd/sensmart-sim/testdata/checkpoint_smoke.s
+
+# Race-enabled energy smoke: a short joules-axis run (10 activations instead
+# of the committed file's 300) to a scratch path. The byte-identity of the
+# full run between serial and parallel pools is pinned by
+# TestEnergyBenchDeterministic in `make test`; this target proves the CLI
+# path and the baseline-ordering verdict end to end under -race.
+energy:
+	$(GO) run -race ./cmd/sensmart-bench -exp energy -activations 10 -quiet \
+		-out /tmp/BENCH_energy_smoke.json

@@ -15,6 +15,7 @@
 //	sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 //	sensmart-bench -exp faultcampaign -seed 1 -trials 20 -out BENCH_faultcampaign.json
 //	sensmart-bench -exp warmstart -prefix 2000000 -points 6 -out BENCH_warmstart.json
+//	sensmart-bench -exp energy -activations 300 -out BENCH_energy.json
 //	sensmart-bench -exp interp -out BENCH_interp.json
 //	sensmart-bench -exp interp -baseline BENCH_interp.baseline.json
 //	sensmart-bench -exp compare -old BENCH_interp.baseline.json -new BENCH_interp.json
@@ -58,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sensmart-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|faultcampaign|warmstart|compare|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|fig8|overhead|hotspots|profilebench|benchparallel|interp|faultcampaign|warmstart|energy|compare|all")
 	activations := fs.Int("activations", 300, "PeriodicTask activations (fig6; the paper uses 300)")
 	budget := fs.Uint64("budget", 40_000_000, "simulated cycle budget for fig7/fig8 workloads")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count; 1 = serial")
@@ -334,6 +335,23 @@ func run(args []string) error {
 			fmt.Printf("warmstart: checkpoint at cycle %d (%d bytes), %d budgets, identical=%v, cold %.2fs vs warm %.2fs (%.2fx)\n",
 				b.CheckpointAt, b.SnapshotBytes, len(b.Budgets), b.Identical,
 				float64(b.ColdWallNS)/1e9, float64(b.WarmWallNS)/1e9, b.Speedup)
+			return nil
+		},
+		"energy": func() error {
+			b, err := r.BenchEnergy(*activations)
+			if err != nil {
+				return err
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_energy.json"
+			}
+			data, err := experiment.WriteBenchFile(path, b)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+			fmt.Print(experiment.EnergyTable(b).Render())
 			return nil
 		},
 		"compare": func() error {

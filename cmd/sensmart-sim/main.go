@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sensmart-sim [-native] [-cycles N] [-copies N] [-uart] [-stats]
-//	             [-trace out.json] [-metrics]
+//	             [-trace out.json] [-metrics] [-energy]
 //	             [-profile out.pb.gz] [-folded out.folded] [-stackrec out.csv]
 //	             [-watch addr[:len][:r|w|rw]]...
 //	             [-inject KIND:PARAMS@CYCLE]...
@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/avr/asm"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/faultinject"
 	"repro/internal/image"
 	"repro/internal/kernel"
@@ -54,6 +55,7 @@ type simFlags struct {
 	stackrec   bool
 	trace      bool
 	metrics    bool
+	energy     bool
 	stats      bool
 	serve      bool
 	telemetry  bool
@@ -78,6 +80,9 @@ func validateFlags(f simFlags) error {
 		}
 		if f.trace || f.metrics || f.stats {
 			return errors.New("-trace/-metrics/-stats read kernel ledgers; drop -native")
+		}
+		if f.energy {
+			return errors.New("-energy attaches the meter through the kernel config; drop -native")
 		}
 		if f.serve || f.telemetry {
 			return errors.New("-serve/-telemetry sample kernel state; drop -native")
@@ -114,6 +119,7 @@ func run(args []string) error {
 	verbose := fs.Bool("v", false, "trace kernel events")
 	traceOut := fs.String("trace", "", "record a cycle trace and write Chrome trace_event JSON to this file (load in chrome://tracing or ui.perfetto.dev)")
 	metrics := fs.Bool("metrics", false, "print the kernel metrics snapshot (per-task utilization, per-service costs, kernel-vs-app cycles)")
+	energyReport := fs.Bool("energy", false, "attach the cycle-domain energy meter and print the per-device joules budget after the run")
 	profileOut := fs.String("profile", "", "attach the cycle-exact profiler and write a gzipped pprof profile.proto here (go tool pprof <file>)")
 	foldedOut := fs.String("folded", "", "attach the profiler and write folded stacks here (speedscope / flamegraph.pl)")
 	stackrecOut := fs.String("stackrec", "", "attach the profiler and write the per-task stack-depth flight recorder CSV here")
@@ -158,6 +164,7 @@ func run(args []string) error {
 		stackrec:   *stackrecOut != "",
 		trace:      *traceOut != "",
 		metrics:    *metrics,
+		energy:     *energyReport,
 		stats:      *stats,
 		serve:      *serve != "",
 		telemetry:  *telemetryOut != "",
@@ -203,6 +210,11 @@ func run(args []string) error {
 			prof.AddWatch(wp)
 		}
 		opts = append(opts, core.WithProfile(prof))
+	}
+	var meter *energy.Meter
+	if *energyReport {
+		meter = new(energy.Meter)
+		opts = append(opts, core.WithEnergy(meter))
 	}
 	var sampler *telemetry.Sampler
 	var streamFile *os.File
@@ -311,6 +323,9 @@ func run(args []string) error {
 	if *metrics {
 		fmt.Print(sys.Metrics().Render())
 	}
+	if meter != nil {
+		printEnergyBudget(meter, m.Cycles())
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -358,6 +373,32 @@ func run(args []string) error {
 		select {}
 	}
 	return nil
+}
+
+// printEnergyBudget renders the meter's per-device joules budget at the final
+// cycle: each component's share of the total, plus the device activity that
+// produced it.
+func printEnergyBudget(meter *energy.Meter, cycles uint64) {
+	b := meter.Report(cycles)
+	secs := float64(cycles) / mcu.ClockHz
+	avgMW := 0.0
+	if secs > 0 {
+		avgMW = float64(b.TotalPJ) / 1e9 / secs
+	}
+	fmt.Printf("energy: %s total over %.3f s simulated (avg %.2f mW)\n",
+		energy.FormatPJ(b.TotalPJ), secs, avgMW)
+	pct := func(pj uint64) float64 {
+		if b.TotalPJ == 0 {
+			return 0
+		}
+		return 100 * float64(pj) / float64(b.TotalPJ)
+	}
+	fmt.Printf("  cpu-active %12s %5.1f%%  (%d cycles)\n", energy.FormatPJ(b.CPUActivePJ), pct(b.CPUActivePJ), b.CPUActiveCycles)
+	fmt.Printf("  cpu-sleep  %12s %5.1f%%  (%d cycles)\n", energy.FormatPJ(b.CPUSleepPJ), pct(b.CPUSleepPJ), b.CPUSleepCycles)
+	fmt.Printf("  radio      %12s %5.1f%%  (%d bytes)\n", energy.FormatPJ(b.RadioPJ), pct(b.RadioPJ), b.RadioBytes)
+	fmt.Printf("  uart       %12s %5.1f%%  (%d bytes)\n", energy.FormatPJ(b.UARTPJ), pct(b.UARTPJ), b.UARTBytes)
+	fmt.Printf("  adc        %12s %5.1f%%  (%d conversions)\n", energy.FormatPJ(b.ADCPJ), pct(b.ADCPJ), b.ADCConversions)
+	fmt.Printf("  timer      %12s %5.1f%%\n", energy.FormatPJ(b.TimerPJ), pct(b.TimerPJ))
 }
 
 // writeProfileOutputs exports the requested profiler artifacts.

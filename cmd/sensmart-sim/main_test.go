@@ -78,6 +78,8 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"native trace", simFlags{native: true, programs: 1, copies: 1, trace: true}, "kernel ledgers"},
 		{"native metrics", simFlags{native: true, programs: 1, copies: 1, metrics: true}, "kernel ledgers"},
 		{"native stats", simFlags{native: true, programs: 1, copies: 1, stats: true}, "kernel ledgers"},
+		{"native energy", simFlags{native: true, programs: 1, copies: 1, energy: true}, "drop -native"},
+		{"energy kernel run", simFlags{programs: 1, copies: 1, energy: true}, ""},
 		{"native serve", simFlags{native: true, programs: 1, copies: 1, serve: true}, "sample kernel state"},
 		{"native telemetry stream", simFlags{native: true, programs: 1, copies: 1, telemetry: true}, "sample kernel state"},
 		{"stackevery without stackrec", simFlags{programs: 1, copies: 1,
@@ -142,6 +144,7 @@ func TestSimToolRejectsBadCombosBeforeLoading(t *testing.T) {
 		{[]string{"-stackevery", "512", "nonexistent.s"}, "add -stackrec"},
 		{[]string{"-sample", "1000", "nonexistent.s"}, "add -serve or -telemetry"},
 		{[]string{"-native", "-profile", "p.pb.gz", "nonexistent.s"}, "drop -native"},
+		{[]string{"-native", "-energy", "nonexistent.s"}, "drop -native"},
 		{[]string{"-native", "-restore", "c.ssnp", "nonexistent.s"}, "drop -native"},
 		{[]string{"-checkpoint-at", "1000", "nonexistent.s"}, "needs -checkpoint FILE"},
 		{[]string{"-restore", "c.ssnp", "-inject", "sram:0x200@500", "nonexistent.s"}, "drop -inject"},
@@ -238,6 +241,13 @@ func TestSimToolTelemetryStream(t *testing.T) {
 		if len(s.Tasks) != 2 {
 			t.Fatalf("line %d carries %d tasks, want 2", i, len(s.Tasks))
 		}
+	}
+}
+
+func TestSimToolEnergyBudget(t *testing.T) {
+	src := writeTemp(t, testSrc)
+	if err := run([]string{"-cycles", "1000000", "-copies", "2", "-energy", "-metrics", src}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -30,6 +30,9 @@ func (s *System) Snapshot() (*snapshot.State, error) {
 	if p := s.Profile(); p != nil {
 		st.Profile = p.CaptureState()
 	}
+	if m := s.Energy(); m != nil {
+		st.Energy = m.CaptureState()
+	}
 	return st, nil
 }
 
@@ -55,6 +58,9 @@ func (s *System) Restore(st *snapshot.State) error {
 	case (st.Profile != nil) != (s.Profile() != nil):
 		return fmt.Errorf("core: restore: snapshot %s a profiler, target %s",
 			hasHave(st.Profile != nil), hasHave(s.Profile() != nil))
+	case (st.Energy != nil) != (s.Energy() != nil):
+		return fmt.Errorf("core: restore: snapshot %s an energy meter, target %s",
+			hasHave(st.Energy != nil), hasHave(s.Energy() != nil))
 	}
 	if err := s.kernel.RestoreState(st.Kernel); err != nil {
 		return err
@@ -74,6 +80,9 @@ func (s *System) Restore(st *snapshot.State) error {
 		if err := s.Profile().RestoreState(st.Profile); err != nil {
 			return err
 		}
+	}
+	if st.Energy != nil {
+		s.Energy().RestoreState(st.Energy)
 	}
 	return nil
 }

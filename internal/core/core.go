@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/avr/asm"
+	"repro/internal/energy"
 	"repro/internal/image"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
@@ -72,6 +73,19 @@ func WithProfile(p *profile.Profiler) Option { return profileOption{p} }
 type telemetryOption struct{ s *telemetry.Sampler }
 
 func (o telemetryOption) apply(opts *options) { opts.kernelCfg.Telemetry = o.s }
+
+type energyOption struct{ m *energy.Meter }
+
+func (o energyOption) apply(opts *options) { opts.kernelCfg.Energy = o.m }
+
+// WithEnergy attaches a cycle-domain energy meter: the machine's device
+// transition points charge the meter's per-device ledgers (radio/UART bytes,
+// ADC conversions, timer spans, sleep cycles) and Metrics/telemetry samples
+// gain joules attribution. With no meter attached every charge site stays a
+// nil pointer compare, none of them on the interpreter's fast loop. Compose
+// with WithKernelConfig by passing WithEnergy after it (options apply in
+// order).
+func WithEnergy(m *energy.Meter) Option { return energyOption{m} }
 
 // WithTelemetry attaches a cycle-domain telemetry sampler: every
 // sampler-interval simulated cycles the kernel snapshots its gauges —
@@ -207,6 +221,9 @@ func (s *System) SampleTelemetry() (telemetry.Sample, error) {
 	}
 	return smp, nil
 }
+
+// Energy returns the attached energy meter, or nil when metering is off.
+func (s *System) Energy() *energy.Meter { return s.kernel.Cfg.Energy }
 
 // Profile returns the attached profiler, or nil when profiling is off.
 func (s *System) Profile() *profile.Profiler { return s.kernel.Cfg.Profile }

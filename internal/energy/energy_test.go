@@ -1,0 +1,180 @@
+package energy
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCoefficientProvenance re-derives every coefficient from the data-sheet
+// current draws: pJ/cycle = uA x 3 V / 7.3728 MHz, rounded to nearest. A
+// coefficient drifting from its documented draw breaks this test.
+func TestCoefficientProvenance(t *testing.T) {
+	derive := func(microAmps float64) uint64 {
+		const volts, hz = 3.0, 7_372_800.0
+		return uint64(microAmps*volts/hz*1e6 + 0.5) // uA * V / Hz = pW/Hz = pJ
+	}
+	cases := []struct {
+		name      string
+		microAmps float64
+		got       uint64
+	}{
+		{"cpu-active", 8000, CPUActivePJ},
+		{"cpu-sleep", 15, CPUSleepPJ},
+		{"radio-tx", 27000, RadioTxPJ},
+		{"adc", 1000, ADCPJ},
+		{"uart", 500, UARTPJ},
+		{"timer", 30, TimerPJ},
+	}
+	for _, tc := range cases {
+		if want := derive(tc.microAmps); tc.got != want {
+			t.Errorf("%s: coefficient %d pJ/cycle, but %.0f uA derives to %d", tc.name, tc.got, tc.microAmps, want)
+		}
+	}
+}
+
+func TestReportBreakdown(t *testing.T) {
+	var m Meter
+	m.SleepCycles(1000)
+	m.RadioByte(3840)
+	m.RadioByte(3840)
+	m.UARTByte(1280)
+	m.ADCConversion(1664)
+	m.TimerOn(100)
+	m.TimerOff(600)
+
+	b := m.Report(10_000)
+	if b.CPUActiveCycles != 9000 || b.CPUSleepCycles != 1000 {
+		t.Fatalf("CPU split = %d/%d, want 9000/1000", b.CPUActiveCycles, b.CPUSleepCycles)
+	}
+	if b.CPUActivePJ != 9000*CPUActivePJ || b.CPUSleepPJ != 1000*CPUSleepPJ {
+		t.Errorf("CPU pJ = %d/%d", b.CPUActivePJ, b.CPUSleepPJ)
+	}
+	if b.RadioBytes != 2 || b.RadioPJ != 2*3840*RadioTxPJ {
+		t.Errorf("radio = %d bytes %d pJ", b.RadioBytes, b.RadioPJ)
+	}
+	if b.UARTBytes != 1 || b.UARTPJ != 1280*UARTPJ {
+		t.Errorf("uart = %d bytes %d pJ", b.UARTBytes, b.UARTPJ)
+	}
+	if b.ADCConversions != 1 || b.ADCPJ != 1664*ADCPJ {
+		t.Errorf("adc = %d convs %d pJ", b.ADCConversions, b.ADCPJ)
+	}
+	if b.TimerCycles != 500 || b.TimerPJ != 500*TimerPJ {
+		t.Errorf("timer = %d cycles %d pJ", b.TimerCycles, b.TimerPJ)
+	}
+	want := b.CPUActivePJ + b.CPUSleepPJ + b.RadioPJ + b.UARTPJ + b.ADCPJ + b.TimerPJ
+	if b.TotalPJ != want {
+		t.Errorf("total %d != component sum %d", b.TotalPJ, want)
+	}
+}
+
+// TestTimerSpans: double-open and double-close are no-ops, and an open span
+// is reported lazily without being closed.
+func TestTimerSpans(t *testing.T) {
+	var m Meter
+	m.TimerOff(50) // close with nothing open: no-op
+	m.TimerOn(100)
+	m.TimerOn(200) // already open: keeps the original start
+	if b := m.Report(1100); b.TimerCycles != 1000 {
+		t.Fatalf("open span reported %d cycles, want 1000", b.TimerCycles)
+	}
+	// Report must not have closed the span.
+	if b := m.Report(2100); b.TimerCycles != 2000 {
+		t.Fatalf("open span reported %d cycles after second report, want 2000", b.TimerCycles)
+	}
+	m.TimerOff(1100)
+	m.TimerOff(9999) // already closed: no-op
+	if b := m.Report(5000); b.TimerCycles != 1000 {
+		t.Fatalf("closed span reported %d cycles, want 1000", b.TimerCycles)
+	}
+}
+
+// TestReportPure: Report must not mutate the meter — two reports at the same
+// cycle are identical, with and without an open timer span.
+func TestReportPure(t *testing.T) {
+	var m Meter
+	m.SleepCycles(10)
+	m.RadioByte(3840)
+	m.TimerOn(5)
+	a, b := m.Report(1000), m.Report(1000)
+	if a != b {
+		t.Fatalf("consecutive reports differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	var m Meter
+	m.SleepCycles(123)
+	m.RadioByte(3840)
+	m.UARTByte(1280)
+	m.UARTByte(1280)
+	m.ADCConversion(1664)
+	m.TimerOn(77)
+
+	st := m.CaptureState()
+	var m2 Meter
+	m2.RestoreState(st)
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatalf("restored meter differs: %+v vs %+v", m, m2)
+	}
+	if a, b := m.Report(9999), m2.Report(9999); a != b {
+		t.Fatalf("restored report differs: %+v vs %+v", a, b)
+	}
+
+	// The captured state is a value copy: further accrual must not leak in.
+	m.RadioByte(3840)
+	var m3 Meter
+	m3.RestoreState(st)
+	if m3.Report(9999).RadioBytes != 1 {
+		t.Fatal("captured state aliased the live meter")
+	}
+}
+
+func TestCPUPJ(t *testing.T) {
+	if got := CPUPJ(1000); got != 1000*CPUActivePJ {
+		t.Fatalf("CPUPJ(1000) = %d", got)
+	}
+}
+
+func TestFormatPJ(t *testing.T) {
+	cases := []struct {
+		pj   uint64
+		want string
+	}{
+		{0, "0.000 mJ"},
+		{999_999, "0.000 mJ"},
+		{1_000_000, "0.001 mJ"},
+		{1_234_567_890, "1.234 mJ"},
+		{162_750_000_000, "162.750 mJ"},
+	}
+	for _, tc := range cases {
+		if got := FormatPJ(tc.pj); got != tc.want {
+			t.Errorf("FormatPJ(%d) = %q, want %q", tc.pj, got, tc.want)
+		}
+	}
+}
+
+// TestBreakdownJSONStable pins the JSON field names the bench payloads and
+// telemetry samples build on.
+func TestBreakdownJSONStable(t *testing.T) {
+	var m Meter
+	m.SleepCycles(1)
+	data, err := json.Marshal(m.Report(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cpu_active_pj", "cpu_sleep_pj", "radio_pj", "uart_pj", "adc_pj", "timer_pj", "total_pj"} {
+		if !json.Valid(data) || !containsKey(data, key) {
+			t.Errorf("marshaled breakdown missing %q: %s", key, data)
+		}
+	}
+}
+
+func containsKey(data []byte, key string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

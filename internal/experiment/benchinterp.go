@@ -3,8 +3,10 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/progs"
@@ -33,6 +35,11 @@ type InterpBenchPoint struct {
 	// against FastMs isolates the armed check itself (one compare per
 	// outer-loop pass — the fast inner loop is untouched).
 	TelemetryArmedMs float64 `json:"telemetry_armed_ms"`
+	// EnergyArmedMs times the fast loop with an energy meter attached: the
+	// meter's hooks live at device transition points and the sleep path, none
+	// of them on the per-instruction fast loop, so the delta against FastMs
+	// bounds what merely attaching a meter costs.
+	EnergyArmedMs float64 `json:"energy_armed_ms"`
 	// CyclesIdentical confirms the fast loop is an optimization, not a
 	// different simulation: both modes must retire the same instructions
 	// and simulate the same cycles.
@@ -65,9 +72,12 @@ type InterpBench struct {
 	// during the armed runs, so this bounds what merely attaching telemetry
 	// costs; the interp gate requires it to stay under 1%. Suite sums of
 	// best-of-reps minima keep the figure stable against scheduler noise.
-	TelemetryOverheadPct float64            `json:"telemetry_overhead_pct"`
-	AllCyclesIdentical   bool               `json:"all_cycles_identical"`
-	Benchmarks           []InterpBenchPoint `json:"benchmarks"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// EnergyOverheadPct is the same suite-summed armed-vs-disabled delta for
+	// an attached energy meter, gated under 1% like telemetry.
+	EnergyOverheadPct  float64            `json:"energy_overhead_pct"`
+	AllCyclesIdentical bool               `json:"all_cycles_identical"`
+	Benchmarks         []InterpBenchPoint `json:"benchmarks"`
 }
 
 const interpBenchLimit = 4_000_000_000
@@ -104,6 +114,13 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 		AllCyclesIdentical: true,
 	}
 	benchmarks := progs.KernelBenchmarks()
+	// The overhead gates compare wall times that differ by well under a
+	// millisecond, so a collector cycle landing inside one timed pass but not
+	// its counterpart reads as overhead (worst on single-CPU hosts, where the
+	// collector shares the measuring core). Disable automatic GC for the
+	// measured phase and collect manually between passes: each pass allocates
+	// a few MB (machine + predecoded micro-ops), so the heap stays bounded.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	for _, kb := range benchmarks {
 		p := InterpBenchPoint{Benchmark: kb.Name}
 
@@ -118,12 +135,18 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s checked: %w", kb.Name, err)
 		}
-		// Fast-loop and armed-telemetry passes interleave rep by rep: the two
-		// paths differ by one branch per outer-loop pass, so any measured gap
-		// beyond noise is real, and interleaving keeps slow host drift
-		// (thermal, cgroup throttling) from biasing one side.
-		var fastCycles, armedCycles uint64
+		// Fast-loop, armed-telemetry, and armed-energy passes interleave rep
+		// by rep: the paths differ by one branch per outer-loop pass (or per
+		// device transition for energy), so any measured gap beyond noise is
+		// real, and interleaving keeps slow host drift (thermal, cgroup
+		// throttling) from biasing one side.
+		var fastCycles, armedCycles, energyCycles uint64
 		for i := 0; i < reps; i++ {
+			// A GC pause landing inside one pass but not another would read as
+			// overhead; collecting before each timed section keeps the collector
+			// out of the comparison (matters most on single-CPU hosts, where the
+			// collector shares the measuring core).
+			runtime.GC()
 			start := time.Now()
 			m := mcu.New()
 			fastM = m
@@ -137,8 +160,9 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 			}
 			fastCycles = run.Cycles
 
-			start = time.Now()
 			samp := telemetry.New(telemetry.Options{Every: interpBenchLimit, Ring: 8})
+			runtime.GC()
+			start = time.Now()
 			armedRun, err := runSenSmart(kernel.Config{Telemetry: samp}, interpBenchLimit, kb.Program.Clone())
 			if err != nil {
 				return nil, fmt.Errorf("%s telemetry-armed: %w", kb.Name, err)
@@ -148,6 +172,19 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 				p.TelemetryArmedMs = ms
 			}
 			armedCycles = armedRun.Cycles
+
+			meter := new(energy.Meter)
+			runtime.GC()
+			start = time.Now()
+			energyRun, err := runSenSmart(kernel.Config{Energy: meter}, interpBenchLimit, kb.Program.Clone())
+			if err != nil {
+				return nil, fmt.Errorf("%s energy-armed: %w", kb.Name, err)
+			}
+			ms = float64(time.Since(start)) / float64(time.Millisecond)
+			if i == 0 || ms < p.EnergyArmedMs {
+				p.EnergyArmedMs = ms
+			}
+			energyCycles = energyRun.Cycles
 		}
 		p.Instructions = fastM.Instructions()
 		p.CheckedMIPS = mips(checkedM.Instructions(), p.CheckedMs)
@@ -156,10 +193,10 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 			p.Speedup = p.FastMIPS / p.CheckedMIPS
 		}
 		p.CyclesIdentical = p.Cycles == fastCycles && p.Cycles == armedCycles &&
-			checkedM.Instructions() == fastM.Instructions()
+			p.Cycles == energyCycles && checkedM.Instructions() == fastM.Instructions()
 		if !p.CyclesIdentical {
-			return nil, fmt.Errorf("%s: fast loop perturbed the simulation (%d vs %d vs %d cycles, %d vs %d insts)",
-				kb.Name, p.Cycles, fastCycles, armedCycles, checkedM.Instructions(), fastM.Instructions())
+			return nil, fmt.Errorf("%s: fast loop perturbed the simulation (%d vs %d vs %d vs %d cycles, %d vs %d insts)",
+				kb.Name, p.Cycles, fastCycles, armedCycles, energyCycles, checkedM.Instructions(), fastM.Instructions())
 		}
 		if b.MinSpeedup == 0 || p.Speedup < b.MinSpeedup {
 			b.MinSpeedup = p.Speedup
@@ -169,17 +206,21 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 
 	// Whole-suite fast-mode wall time: serial, then under the worker pool.
 	var totalInsts uint64
-	var checkedMs, fastMs, armedMs float64
+	var checkedMs, fastMs, armedMs, energyMs float64
 	for _, p := range b.Benchmarks {
 		totalInsts += p.Instructions
 		checkedMs += p.CheckedMs
 		fastMs += p.FastMs
 		armedMs += p.TelemetryArmedMs
+		energyMs += p.EnergyArmedMs
 	}
 	if fastMs > 0 {
 		b.SuiteSpeedup = checkedMs / fastMs
 		if armedMs > fastMs {
 			b.TelemetryOverheadPct = 100 * (armedMs - fastMs) / fastMs
+		}
+		if energyMs > fastMs {
+			b.EnergyOverheadPct = 100 * (energyMs - fastMs) / fastMs
 		}
 	}
 	runPoint := func(i int) (uint64, error) {
@@ -191,6 +232,7 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 	}
 	serialBest, parallelBest := 0.0, 0.0
 	for i := 0; i < reps; i++ {
+		runtime.GC()
 		start := time.Now()
 		if _, err := runPoints(1, len(benchmarks), runPoint); err != nil {
 			return nil, fmt.Errorf("serial suite: %w", err)
@@ -199,6 +241,7 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 		if i == 0 || ms < serialBest {
 			serialBest = ms
 		}
+		runtime.GC()
 		start = time.Now()
 		if _, err := runPoints(workers, len(benchmarks), runPoint); err != nil {
 			return nil, fmt.Errorf("parallel suite: %w", err)
@@ -232,6 +275,12 @@ func CheckInterpBaseline(cur, base *InterpBench, minSpeedup, tolerancePct float6
 	if cur.TelemetryOverheadPct >= 1.0 {
 		return fmt.Errorf("interp gate: armed-telemetry fast-loop overhead %.2f%% at or above the 1%% budget",
 			cur.TelemetryOverheadPct)
+	}
+	// Gate on cur only: baselines written before the energy meter existed
+	// have no energy_overhead_pct field and must keep passing.
+	if cur.EnergyOverheadPct >= 1.0 {
+		return fmt.Errorf("interp gate: armed-energy fast-loop overhead %.2f%% at or above the 1%% budget",
+			cur.EnergyOverheadPct)
 	}
 	floor := base.SerialFastMIPS * (1 - tolerancePct/100)
 	if cur.SerialFastMIPS < floor {

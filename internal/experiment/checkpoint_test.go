@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/profile"
 	"repro/internal/progs"
 	"repro/internal/snapshot"
@@ -31,10 +33,11 @@ const ckptLimit = 4_000_000_000
 // sampler, and profiler all attached, so resume identity is pinned over every
 // output stream the repo produces.
 type ckptObservers struct {
-	sys  *core.System
-	rec  *trace.Recorder
-	tel  *telemetry.Sampler
-	prof *profile.Profiler
+	sys   *core.System
+	rec   *trace.Recorder
+	tel   *telemetry.Sampler
+	prof  *profile.Profiler
+	meter *energy.Meter
 }
 
 // ckptSystem builds an observed system with the named kernel benchmark
@@ -42,11 +45,13 @@ type ckptObservers struct {
 // between instances.
 func ckptSystem(name string) (*ckptObservers, error) {
 	o := &ckptObservers{
-		rec:  trace.New(),
-		tel:  telemetry.New(telemetry.Options{Ring: 1 << 14}),
-		prof: profile.New(profile.Options{StackInterval: 8192}),
+		rec:   trace.New(),
+		tel:   telemetry.New(telemetry.Options{Ring: 1 << 14}),
+		prof:  profile.New(profile.Options{StackInterval: 8192}),
+		meter: new(energy.Meter),
 	}
-	o.sys = core.NewSystem(core.WithTrace(o.rec), core.WithTelemetry(o.tel), core.WithProfile(o.prof))
+	o.sys = core.NewSystem(core.WithTrace(o.rec), core.WithTelemetry(o.tel),
+		core.WithProfile(o.prof), core.WithEnergy(o.meter))
 	for _, kb := range progs.KernelBenchmarks() {
 		if kb.Name != name {
 			continue
@@ -59,12 +64,13 @@ func ckptSystem(name string) (*ckptObservers, error) {
 	return nil, fmt.Errorf("unknown benchmark %q", name)
 }
 
-// ckptArtifacts is the four byte streams resume identity is asserted over.
+// ckptArtifacts is the five byte streams resume identity is asserted over.
 type ckptArtifacts struct {
 	metrics []byte
 	trace   []byte
 	ndjson  []byte
 	pprof   []byte
+	energy  []byte
 }
 
 func (o *ckptObservers) artifacts() (ckptArtifacts, error) {
@@ -80,10 +86,20 @@ func (o *ckptObservers) artifacts() (ckptArtifacts, error) {
 		return a, err
 	}
 	a.pprof = pb.Bytes()
+	// The energy ledger both raw (every device counter and open-span cursor)
+	// and reduced to joules at the final cycle.
+	eb, err := json.Marshal(struct {
+		State     *energy.MeterState
+		Breakdown energy.Breakdown
+	}{o.meter.CaptureState(), o.meter.Report(o.sys.Machine().Cycles())})
+	if err != nil {
+		return a, err
+	}
+	a.energy = eb
 	return a, nil
 }
 
-// diff names the first diverging stream, or "" when all four match.
+// diff names the first diverging stream, or "" when all five match.
 func (a ckptArtifacts) diff(b ckptArtifacts) string {
 	switch {
 	case !bytes.Equal(a.metrics, b.metrics):
@@ -94,6 +110,8 @@ func (a ckptArtifacts) diff(b ckptArtifacts) string {
 		return "telemetry NDJSON"
 	case !bytes.Equal(a.pprof, b.pprof):
 		return "pprof bytes"
+	case !bytes.Equal(a.energy, b.energy):
+		return "energy ledger"
 	}
 	return ""
 }
@@ -421,6 +439,13 @@ func TestRestoreDoesNotAliasSnapshot(t *testing.T) {
 		for i := range st.Telemetry.TaskNames {
 			st.Telemetry.TaskNames[i] = "scribbled"
 		}
+	}
+	if st.Energy != nil {
+		st.Energy.SleepCycles ^= 0xFFFF
+		st.Energy.RadioCycles ^= 0xFFFF
+		st.Energy.UARTBytes ^= 0xFFFF
+		st.Energy.TimerSince ^= 0xFFFF
+		st.Energy.TimerOn = !st.Energy.TimerOn
 	}
 	if st.Profile != nil {
 		for i := range st.Profile.Tasks {

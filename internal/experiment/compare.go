@@ -19,6 +19,8 @@ type benchFile struct {
 	profile   *ProfileBench
 	parallel  *ParallelBench
 	faultcamp *FaultBench
+	warmstart *WarmstartBench
+	energy    *EnergyBench
 }
 
 // loadBenchFile reads and type-detects one BENCH_* file.
@@ -66,6 +68,12 @@ func loadBenchFile(path string) (*benchFile, error) {
 	case "faultcampaign":
 		f.faultcamp = new(FaultBench)
 		err = json.Unmarshal(raw, f.faultcamp)
+	case "warmstart":
+		f.warmstart = new(WarmstartBench)
+		err = json.Unmarshal(raw, f.warmstart)
+	case "energy":
+		f.energy = new(EnergyBench)
+		err = json.Unmarshal(raw, f.energy)
 	default:
 		return nil, fmt.Errorf("%s: unknown benchmark kind %q", path, kind)
 	}
@@ -73,6 +81,14 @@ func loadBenchFile(path string) (*benchFile, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return f, nil
+}
+
+// b2f encodes a pass/fail flag as 0/1 for direction-aware comparison.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // compareRow is one metric of one benchmark diffed across the two files.
@@ -242,6 +258,54 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 		for name := range byName {
 			missing("benchmark", name)
 		}
+	case "warmstart":
+		o, n := oldF.warmstart, newF.warmstart
+		// Identity is pass/fail, not tolerance-banded: encode it as 0/1 so
+		// any flip out of "identical" shows as a -100% regression.
+		rows = append(rows,
+			compareRow{"warmstart", "identical", "bool", b2f(o.Identical), b2f(n.Identical), true},
+			compareRow{"warmstart", "speedup", "x", o.Speedup, n.Speedup, true},
+			compareRow{"warmstart", "cold_wall", "s", float64(o.ColdWallNS) / 1e9, float64(n.ColdWallNS) / 1e9, false},
+			compareRow{"warmstart", "warm_wall", "s", float64(o.WarmWallNS) / 1e9, float64(n.WarmWallNS) / 1e9, false},
+			compareRow{"warmstart", "snapshot_bytes", "B", float64(o.SnapshotBytes), float64(n.SnapshotBytes), false})
+	case "energy":
+		o, n := oldF.energy, newF.energy
+		byName := make(map[string]EnergyBenchPoint, len(o.Benchmarks))
+		for _, p := range o.Benchmarks {
+			byName[p.Benchmark] = p
+		}
+		for _, np := range n.Benchmarks {
+			op, ok := byName[np.Benchmark]
+			if !ok {
+				missing("benchmark", np.Benchmark)
+				continue
+			}
+			delete(byName, np.Benchmark)
+			rows = append(rows,
+				compareRow{np.Benchmark, "total_pj", "pJ", float64(op.TotalPJ), float64(np.TotalPJ), false})
+		}
+		for name := range byName {
+			missing("benchmark", name)
+		}
+		byBase := make(map[string]EnergyBaselineRow, len(o.Baselines))
+		for _, b := range o.Baselines {
+			byBase[b.Baseline] = b
+		}
+		for _, nb := range n.Baselines {
+			ob, ok := byBase[nb.Baseline]
+			if !ok {
+				missing("baseline", nb.Baseline)
+				continue
+			}
+			delete(byBase, nb.Baseline)
+			rows = append(rows, compareRow{"periodic/" + nb.Baseline, "pj_per_activation", "pJ",
+				float64(ob.PJPerActivation), float64(nb.PJPerActivation), false})
+		}
+		for name := range byBase {
+			missing("baseline", name)
+		}
+		rows = append(rows,
+			compareRow{"suite", "ordering_ok", "bool", b2f(o.OrderingOK), b2f(n.OrderingOK), true})
 	}
 
 	t := &Table{

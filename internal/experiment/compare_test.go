@@ -159,6 +159,119 @@ func TestCompareRejectsUnknownPayload(t *testing.T) {
 	}
 }
 
+// warmstartFixture builds a minimal warmstart payload.
+func warmstartFixture(identical bool, speedup float64, warmNS int64) *WarmstartBench {
+	return &WarmstartBench{
+		BenchMeta:     NewBenchMeta("warmstart", "kernel7"),
+		SnapshotBytes: 7000,
+		Identical:     identical,
+		ColdWallNS:    2_000_000_000,
+		WarmWallNS:    warmNS,
+		Speedup:       speedup,
+	}
+}
+
+// energyFixture builds a minimal energy payload.
+func energyFixture(lfsrPJ, matePJ, tkPJ uint64, orderingOK bool) *EnergyBench {
+	b := &EnergyBench{
+		BenchMeta:   NewBenchMeta("energy", "kernel7 + periodic baselines"),
+		Activations: 10,
+		OrderingOK:  orderingOK,
+	}
+	b.Benchmarks = []EnergyBenchPoint{{Benchmark: "lfsr", Cycles: 1000}}
+	b.Benchmarks[0].TotalPJ = lfsrPJ
+	b.Baselines = []EnergyBaselineRow{
+		{Baseline: "mate", Activations: 10, TotalPJ: matePJ * 10, PJPerActivation: matePJ},
+		{Baseline: "t-kernel", Activations: 10, TotalPJ: tkPJ * 10, PJPerActivation: tkPJ},
+	}
+	return b
+}
+
+// Both new kinds through the full load-diff-verdict path, table-driven:
+// identical files pass, regressions in the bad direction are flagged, and
+// moves in the good direction are not (direction awareness).
+func TestCompareWarmstartAndEnergyKinds(t *testing.T) {
+	cases := []struct {
+		name        string
+		old, new    any
+		wantRegress string // "" = no regression expected
+	}{
+		{"warmstart identical ok",
+			warmstartFixture(true, 1.5, 1_000_000_000),
+			warmstartFixture(true, 1.5, 1_000_000_000), ""},
+		{"warmstart identity flip regresses",
+			warmstartFixture(true, 1.5, 1_000_000_000),
+			warmstartFixture(false, 1.5, 1_000_000_000), "identical"},
+		{"warmstart slower warm pass regresses",
+			warmstartFixture(true, 1.5, 1_000_000_000),
+			warmstartFixture(true, 1.5, 5_000_000_000), "warm_wall"},
+		{"warmstart faster warm pass is not a regression",
+			warmstartFixture(true, 1.5, 1_000_000_000),
+			warmstartFixture(true, 3.5, 400_000_000), ""},
+		{"energy identical ok",
+			energyFixture(5000, 900, 100, true),
+			energyFixture(5000, 900, 100, true), ""},
+		{"energy benchmark joules growth regresses",
+			energyFixture(5000, 900, 100, true),
+			energyFixture(9000, 900, 100, true), "total_pj"},
+		{"energy baseline pj/activation growth regresses",
+			energyFixture(5000, 900, 100, true),
+			energyFixture(5000, 900, 300, true), "pj_per_activation"},
+		{"energy joules drop is not a regression",
+			energyFixture(5000, 900, 100, true),
+			energyFixture(2000, 900, 100, true), ""},
+		{"energy ordering flip regresses",
+			energyFixture(5000, 900, 100, true),
+			energyFixture(5000, 900, 100, false), "ordering_ok"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := writeFixture(t, "old.json", tc.old)
+			cur := writeFixture(t, "new.json", tc.new)
+			_, regressions, err := CompareBenchFiles(old, cur, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantRegress == "" {
+				if len(regressions) != 0 {
+					t.Fatalf("unexpected regressions: %v", regressions)
+				}
+				return
+			}
+			found := false
+			for _, r := range regressions {
+				if strings.Contains(r, tc.wantRegress) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("metric %q not flagged; regressions: %v", tc.wantRegress, regressions)
+			}
+		})
+	}
+}
+
+func TestCompareEnergyMissingBaselineNoted(t *testing.T) {
+	old := energyFixture(5000, 900, 100, true)
+	cur := energyFixture(5000, 900, 100, true)
+	cur.Baselines = cur.Baselines[:1] // drop "t-kernel"
+	oldPath := writeFixture(t, "old.json", old)
+	curPath := writeFixture(t, "new.json", cur)
+	tbl, _, err := CompareBenchFiles(oldPath, curPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noted := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "t-kernel") && strings.Contains(n, "only one file") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("dropped baseline not noted: %v", tbl.Notes)
+	}
+}
+
 func TestCheckInterpBaselineTelemetryGate(t *testing.T) {
 	base := interpFixture(100)
 	cur := interpFixture(100)
@@ -168,5 +281,16 @@ func TestCheckInterpBaselineTelemetryGate(t *testing.T) {
 	cur.TelemetryOverheadPct = 1.5
 	if err := CheckInterpBaseline(cur, base, 1.5, 40); err == nil {
 		t.Fatal("1.5% armed-telemetry overhead passed the <1% gate")
+	}
+}
+
+func TestCheckInterpBaselineEnergyGate(t *testing.T) {
+	// The gate reads only the fresh run's field, so baselines written before
+	// the energy meter existed (no energy_overhead_pct) must keep passing.
+	base := interpFixture(100)
+	cur := interpFixture(100)
+	cur.EnergyOverheadPct = 1.5
+	if err := CheckInterpBaseline(cur, base, 1.5, 40); err == nil {
+		t.Fatal("1.5% armed-energy overhead passed the <1% gate")
 	}
 }

@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/telemetry"
+)
+
+// With a meter attached, Metrics carries the system-wide joules breakdown
+// and per-task/per-service CPU attributions, and telemetry samples report
+// the same ledger read-only; without one, the energy surfaces stay absent.
+func TestMetricsAndTelemetryCarryEnergy(t *testing.T) {
+	smp := telemetry.New(telemetry.Options{Every: 50_000})
+	meter := new(energy.Meter)
+	cfg := Config{SliceCycles: 10_000, Telemetry: smp, Energy: meter}
+	k, _ := bootKernel(t, cfg,
+		naturalize(t, "spinA", spinSrc),
+		naturalize(t, "spinB", spinSrc))
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m := k.Metrics()
+	if m.Energy == nil {
+		t.Fatal("metered run reported no Energy breakdown")
+	}
+	sum := m.Energy.CPUActivePJ + m.Energy.CPUSleepPJ + m.Energy.RadioPJ +
+		m.Energy.UARTPJ + m.Energy.ADCPJ + m.Energy.TimerPJ
+	if sum != m.Energy.TotalPJ || m.Energy.TotalPJ == 0 {
+		t.Fatalf("energy components sum to %d pJ, total says %d", sum, m.Energy.TotalPJ)
+	}
+	for _, tm := range m.Tasks {
+		if want := energy.CPUPJ(tm.RunCycles); tm.EnergyPJ != want {
+			t.Fatalf("task %s attributed %d pJ for %d run cycles, want %d",
+				tm.Name, tm.EnergyPJ, tm.RunCycles, want)
+		}
+	}
+	for _, sm := range m.Services {
+		if want := energy.CPUPJ(sm.Cycles); sm.EnergyPJ != want {
+			t.Fatalf("service %s attributed %d pJ for %d cycles, want %d",
+				sm.Name, sm.EnergyPJ, sm.Cycles, want)
+		}
+	}
+
+	// The sampler reads the same ledger at the same clock, so the on-demand
+	// sample's total must match the Metrics reduction exactly.
+	s, ok := k.SampleTelemetryNow()
+	if !ok {
+		t.Fatal("SampleTelemetryNow with an attached sampler returned false")
+	}
+	if s.EnergyPJ != m.Energy.TotalPJ {
+		t.Fatalf("sample total %d pJ, metrics total %d pJ", s.EnergyPJ, m.Energy.TotalPJ)
+	}
+	comp := s.EnergyCPUActivePJ + s.EnergyCPUSleepPJ + s.EnergyRadioPJ +
+		s.EnergyUARTPJ + s.EnergyADCPJ + s.EnergyTimerPJ
+	if comp != s.EnergyPJ {
+		t.Fatalf("sample components sum to %d pJ, total says %d", comp, s.EnergyPJ)
+	}
+	// Interval samples recorded during the run carry energy too, and the
+	// running total never decreases.
+	var prev uint64
+	for i, is := range smp.Samples() {
+		if is.EnergyPJ < prev {
+			t.Fatalf("sample %d energy %d pJ below previous %d", i, is.EnergyPJ, prev)
+		}
+		prev = is.EnergyPJ
+	}
+
+	// Unmetered runs keep every energy surface absent.
+	bare, _ := bootKernel(t, Config{SliceCycles: 10_000},
+		naturalize(t, "spinA", spinSrc))
+	if err := bare.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	bm := bare.Metrics()
+	if bm.Energy != nil {
+		t.Fatal("unmetered run reported an Energy breakdown")
+	}
+	for _, tm := range bm.Tasks {
+		if tm.EnergyPJ != 0 {
+			t.Fatalf("unmetered task %s carries %d pJ", tm.Name, tm.EnergyPJ)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/avr"
+	"repro/internal/energy"
 	"repro/internal/mcu"
 	"repro/internal/profile"
 	"repro/internal/rewriter"
@@ -69,6 +70,13 @@ type Config struct {
 	// disables sampling at the cost of one pointer comparison per machine
 	// run-loop horizon — the same discipline as Trace and Profile.
 	Telemetry *telemetry.Sampler
+	// Energy, when set, is the charge ledger the machine accrues device
+	// power-state spans into (see internal/energy); Metrics and telemetry
+	// samples then carry joules attribution. nil disables metering: every
+	// hook site is a single pointer comparison, and none of the sites is on
+	// the interpreter's fast loop — the same discipline as Trace/Profile/
+	// Telemetry.
+	Energy *energy.Meter
 }
 
 func (c *Config) setDefaults() {
@@ -226,6 +234,9 @@ func New(m *mcu.Machine, cfg Config) *Kernel {
 	}
 	if cfg.Telemetry != nil {
 		m.SetSampler(cfg.Telemetry.Every(), k.telemetrySample)
+	}
+	if cfg.Energy != nil {
+		m.SetEnergyMeter(cfg.Energy)
 	}
 	if k.prof != nil {
 		k.prof.Bind(k.sym, cfg.Trace, mcu.ClockHz)

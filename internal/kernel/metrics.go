@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/energy"
 	"repro/internal/rewriter"
 	"repro/internal/trace"
 )
@@ -30,19 +31,24 @@ func (k *Kernel) Metrics() *trace.Metrics {
 		RelocatedBytes:  s.RelocatedBytes,
 		Terminations:    s.Terminations,
 	}
+	metered := k.Cfg.Energy != nil
 	for class := rewriter.Class(1); class < numClasses; class++ {
 		calls := s.ServiceCalls[class]
 		if calls == 0 && s.ServiceCycles[class] == 0 {
 			continue
 		}
 		m.ServiceOverheadCycles += s.ServiceOverhead[class]
-		m.Services = append(m.Services, trace.ServiceMetrics{
+		sm := trace.ServiceMetrics{
 			Class:    int(class),
 			Name:     class.String(),
 			Calls:    calls,
 			Cycles:   s.ServiceCycles[class],
 			Overhead: s.ServiceOverhead[class],
-		})
+		}
+		if metered {
+			sm.EnergyPJ = energy.CPUPJ(sm.Cycles)
+		}
+		m.Services = append(m.Services, sm)
 	}
 	m.KernelCycles = m.ServiceOverheadCycles + m.SwitchCycles + m.RelocCycles + m.BootCycles
 	if busy := m.TotalCycles - m.IdleCycles; busy > m.KernelCycles {
@@ -62,6 +68,9 @@ func (k *Kernel) Metrics() *trace.Metrics {
 			StackPeak:    t.MaxStackUsed,
 			StackAlloc:   t.StackAlloc(),
 			Relocations:  t.Relocations,
+		}
+		if metered {
+			tm.EnergyPJ = energy.CPUPJ(tm.RunCycles)
 		}
 		if tm.RunCycles > tm.KernelCycles {
 			tm.AppCycles = tm.RunCycles - tm.KernelCycles
@@ -85,6 +94,26 @@ func (k *Kernel) Metrics() *trace.Metrics {
 	if r := k.Cfg.Trace; r != nil {
 		m.Events = r.Len()
 		m.DroppedEvents = r.Dropped()
+	}
+	if metered {
+		// The system-wide joules breakdown comes from the meter's own ledger;
+		// per-task/per-service EnergyPJ above are CPU-only attributions of the
+		// cycle ledgers the kernel already keeps.
+		b := k.Cfg.Energy.Report(m.TotalCycles)
+		m.Energy = &trace.EnergyMetrics{
+			TotalPJ:         b.TotalPJ,
+			CPUActivePJ:     b.CPUActivePJ,
+			CPUSleepPJ:      b.CPUSleepPJ,
+			RadioPJ:         b.RadioPJ,
+			UARTPJ:          b.UARTPJ,
+			ADCPJ:           b.ADCPJ,
+			TimerPJ:         b.TimerPJ,
+			RadioBytes:      b.RadioBytes,
+			UARTBytes:       b.UARTBytes,
+			ADCConversions:  b.ADCConversions,
+			CPUActiveCycles: b.CPUActiveCycles,
+			CPUSleepCycles:  b.CPUSleepCycles,
+		}
 	}
 	return m
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/energy"
 	"repro/internal/rewriter"
 	"repro/internal/telemetry"
 )
@@ -46,6 +47,18 @@ func (k *Kernel) buildTelemetrySample(at uint64) telemetry.Sample {
 	if cur != nil {
 		smp.Running = int32(cur.ID)
 	}
+	metered := k.Cfg.Energy != nil
+	if metered {
+		// Report is read-only, so sampling keeps the no-mutation contract.
+		b := k.Cfg.Energy.Report(now)
+		smp.EnergyPJ = b.TotalPJ
+		smp.EnergyCPUActivePJ = b.CPUActivePJ
+		smp.EnergyCPUSleepPJ = b.CPUSleepPJ
+		smp.EnergyRadioPJ = b.RadioPJ
+		smp.EnergyUARTPJ = b.UARTPJ
+		smp.EnergyADCPJ = b.ADCPJ
+		smp.EnergyTimerPJ = b.TimerPJ
+	}
 	for _, t := range k.regions {
 		smp.HeapBytes += uint32(t.HeapSize())
 		smp.StackBytes += uint32(t.StackAlloc())
@@ -83,6 +96,9 @@ func (k *Kernel) buildTelemetrySample(at uint64) telemetry.Sample {
 		}
 		for class := rewriter.Class(1); class < numClasses; class++ {
 			ts.Traps += t.ServiceCalls[class]
+		}
+		if metered {
+			ts.EnergyPJ = energy.CPUPJ(ts.RunCycles)
 		}
 		smp.Tasks = append(smp.Tasks, ts)
 	}

@@ -1,6 +1,9 @@
 package mcu
 
-import "repro/internal/ioregs"
+import (
+	"repro/internal/ioregs"
+	"repro/internal/trace"
+)
 
 // noEvent means no device event is scheduled.
 const noEvent = ^uint64(0)
@@ -131,18 +134,21 @@ func (m *Machine) syncDevices() {
 		m.data[IOBase+ioregs.ADCH] = byte(v >> 8)
 		m.data[IOBase+ioregs.ADCSRA] &^= ioregs.ADSC
 		d.adcPending = false
+		m.powerEvent(trace.PowerADC, false)
 	}
 
 	// UART byte done.
 	if d.uartPending && now >= d.uartBusyUntil {
 		d.uartOut = append(d.uartOut, d.uartPendingB)
 		d.uartPending = false
+		m.powerEvent(trace.PowerUART, false)
 	}
 
 	// Radio byte done.
 	if d.radioPending && now >= d.radioBusyUntil {
 		d.radioOut = append(d.radioOut, RadioFrame{Byte: d.radioPendingB, Cycle: d.radioBusyUntil})
 		d.radioPending = false
+		m.powerEvent(trace.PowerRadio, false)
 	}
 
 	m.recomputeNextEvent()
@@ -244,11 +250,20 @@ func (m *Machine) writeIO(addr uint16, v byte) {
 	switch addr {
 	case IOBase + ioregs.TCCR0:
 		// Rebase the counter at the moment the prescaler changes.
+		wasOn := m.dev.t0Prescale != 0
 		m.dev.t0BaseCount = uint16(m.timer0Count())
 		m.dev.t0BaseCycle = m.cycle
 		m.dev.t0Prescale = timer0Prescale[v&7]
 		m.data[addr] = v
 		m.recomputeNextEvent()
+		if isOn := m.dev.t0Prescale != 0; m.meter != nil && isOn != wasOn {
+			if isOn {
+				m.meter.TimerOn(m.cycle)
+			} else {
+				m.meter.TimerOff(m.cycle)
+			}
+			m.powerEvent(trace.PowerTimer, isOn)
+		}
 	case IOBase + ioregs.TCNT0:
 		m.dev.t0BaseCount = uint16(v)
 		m.dev.t0BaseCycle = m.cycle
@@ -263,6 +278,10 @@ func (m *Machine) writeIO(addr uint16, v byte) {
 			m.dev.adcPending = true
 			m.dev.adcBusyUntil = m.cycle + ADCCycles
 			m.recomputeNextEvent()
+			if m.meter != nil {
+				m.meter.ADCConversion(ADCCycles)
+				m.powerEvent(trace.PowerADC, true)
+			}
 		}
 	case IOBase + ioregs.UDR0:
 		// Transmit; software is expected to poll UDRE first.
@@ -278,6 +297,13 @@ func (m *Machine) writeIO(addr uint16, v byte) {
 		m.dev.uartPendingB = v
 		m.dev.uartBusyUntil = m.cycle + UARTByteCycles
 		m.recomputeNextEvent()
+		if m.meter != nil {
+			// Charged at span start: the byte's busy window is fixed, so
+			// its energy is committed the moment transmission begins. The
+			// overrun path above starts no new window and charges nothing.
+			m.meter.UARTByte(UARTByteCycles)
+			m.powerEvent(trace.PowerUART, true)
+		}
 	case IOBase + ioregs.RDR:
 		if m.dev.radioPending && m.cycle < m.dev.radioBusyUntil {
 			m.dev.radioPendingB = v
@@ -290,6 +316,10 @@ func (m *Machine) writeIO(addr uint16, v byte) {
 		m.dev.radioPendingB = v
 		m.dev.radioBusyUntil = m.cycle + RadioByteCycles
 		m.recomputeNextEvent()
+		if m.meter != nil {
+			m.meter.RadioByte(RadioByteCycles)
+			m.powerEvent(trace.PowerRadio, true)
+		}
 	default:
 		m.data[addr] = v
 	}

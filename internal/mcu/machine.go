@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/avr"
+	"repro/internal/energy"
 	"repro/internal/trace"
 )
 
@@ -150,6 +151,14 @@ type Machine struct {
 	uopsShared bool
 	codeEnd    uint32 // highest loaded word + 1, for diagnostics
 
+	// meter, when non-nil, is the energy charge ledger (internal/energy).
+	// Nil-disabled like rec and the profiler hooks, and fed only at device
+	// power-state transitions (writeIO span starts, prescaler changes,
+	// sleep advances) — never on the per-instruction path — so an attached
+	// meter adds no work to the fast loop and a detached one costs one
+	// pointer comparison per transition.
+	meter *energy.Meter
+
 	// ckptFn, when non-nil, is an armed checkpoint hook: it fires at the
 	// first RunUntil outer-loop boundary whose clock has reached ckptAt,
 	// then disarms itself (the hook may re-arm from inside the callback to
@@ -282,6 +291,28 @@ func (m *Machine) SetTrapHandler(h TrapHandler) {
 // machine and itself so the merged stream is globally cycle-ordered.
 func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
 
+// SetEnergyMeter attaches (or, with nil, detaches) the energy charge
+// ledger. Attach before the first cycle: the meter derives CPU-active
+// cycles from the clock minus its accrued sleep cycles, so a meter that
+// missed part of the run would over-attribute active energy.
+func (m *Machine) SetEnergyMeter(e *energy.Meter) { m.meter = e }
+
+// EnergyMeter returns the attached energy meter, or nil.
+func (m *Machine) EnergyMeter() *energy.Meter { return m.meter }
+
+// powerEvent emits a KindPower transition when both a recorder and a meter
+// are attached (unmetered traced runs keep byte-identical streams).
+func (m *Machine) powerEvent(device uint64, busy bool) {
+	if m.rec == nil || m.meter == nil {
+		return
+	}
+	var b uint64
+	if busy {
+		b = 1
+	}
+	m.rec.Emit(trace.Event{Cycle: m.cycle, Kind: trace.KindPower, Task: -1, Arg: device, Arg2: b})
+}
+
 // Recorder returns the attached trace recorder, or nil.
 func (m *Machine) Recorder() *trace.Recorder { return m.rec }
 
@@ -385,6 +416,9 @@ func (m *Machine) AddIdleCycles(n uint64) {
 	}
 	if m.profIdle != nil && n > 0 {
 		m.profIdle(n)
+	}
+	if m.meter != nil {
+		m.meter.SleepCycles(n)
 	}
 }
 

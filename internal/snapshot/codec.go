@@ -3,6 +3,7 @@ package snapshot
 import (
 	"fmt"
 
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/profile"
@@ -539,7 +540,16 @@ func (e *enc) sample(s *telemetry.Sample) {
 		e.u64(t.Traps)
 		e.i64(int64(t.Relocations))
 		e.i64(int64(t.Switches))
+		e.u64(t.EnergyPJ)
 	}
+	// Schema v2: cumulative energy gauges (all zero on unmetered runs).
+	e.u64(s.EnergyPJ)
+	e.u64(s.EnergyCPUActivePJ)
+	e.u64(s.EnergyCPUSleepPJ)
+	e.u64(s.EnergyRadioPJ)
+	e.u64(s.EnergyUARTPJ)
+	e.u64(s.EnergyADCPJ)
+	e.u64(s.EnergyTimerPJ)
 }
 
 func (d *dec) samplerState() *telemetry.SamplerState {
@@ -608,7 +618,45 @@ func (d *dec) sample(s *telemetry.Sample) {
 		t.Traps = d.u64()
 		t.Relocations = int(d.i64())
 		t.Switches = int(d.i64())
+		t.EnergyPJ = d.u64()
 	}
+	s.EnergyPJ = d.u64()
+	s.EnergyCPUActivePJ = d.u64()
+	s.EnergyCPUSleepPJ = d.u64()
+	s.EnergyRadioPJ = d.u64()
+	s.EnergyUARTPJ = d.u64()
+	s.EnergyADCPJ = d.u64()
+	s.EnergyTimerPJ = d.u64()
+}
+
+// --- energy ---
+
+func (e *enc) energyState(st *energy.MeterState) {
+	e.u64(st.SleepCycles)
+	e.u64(st.RadioBytes)
+	e.u64(st.RadioCycles)
+	e.u64(st.UARTBytes)
+	e.u64(st.UARTCycles)
+	e.u64(st.ADCConvs)
+	e.u64(st.ADCCycles)
+	e.u64(st.TimerCycles)
+	e.bool(st.TimerOn)
+	e.u64(st.TimerSince)
+}
+
+func (d *dec) energyState() *energy.MeterState {
+	st := &energy.MeterState{}
+	st.SleepCycles = d.u64()
+	st.RadioBytes = d.u64()
+	st.RadioCycles = d.u64()
+	st.UARTBytes = d.u64()
+	st.UARTCycles = d.u64()
+	st.ADCConvs = d.u64()
+	st.ADCCycles = d.u64()
+	st.TimerCycles = d.u64()
+	st.TimerOn = d.bool()
+	st.TimerSince = d.u64()
+	return st
 }
 
 // --- profile ---

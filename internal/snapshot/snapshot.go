@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/profile"
@@ -39,7 +40,15 @@ import (
 )
 
 // SchemaVersion is the wire-format version this package reads and writes.
-const SchemaVersion = 1
+// Version history:
+//
+//	1  initial format: machine + kernel + optional trace/telemetry/profile
+//	2  adds the optional energy-meter ledger after the profile section, and
+//	   energy gauges to every telemetry sample (see codec.go)
+//
+// Each version is read and written by exactly one release line; there is no
+// cross-version migration (DESIGN.md documents the schema-evolution policy).
+const SchemaVersion = 2
 
 // magic identifies a snapshot blob.
 const magic = "SSNP"
@@ -83,6 +92,7 @@ type State struct {
 	Trace     *trace.RecorderState
 	Telemetry *telemetry.SamplerState
 	Profile   *profile.ProfilerState
+	Energy    *energy.MeterState
 }
 
 // Encode serializes st into a self-validating blob.
@@ -104,6 +114,10 @@ func Encode(st *State) ([]byte, error) {
 	e.optional(st.Profile != nil)
 	if st.Profile != nil {
 		e.profilerState(st.Profile)
+	}
+	e.optional(st.Energy != nil)
+	if st.Energy != nil {
+		e.energyState(st.Energy)
 	}
 	payload := e.b
 	out := make([]byte, 0, headerSize+len(payload))
@@ -160,6 +174,9 @@ func Decode(data []byte) (*State, error) {
 	}
 	if d.optional() {
 		st.Profile = d.profilerState()
+	}
+	if d.optional() {
+		st.Energy = d.energyState()
 	}
 	if d.err != nil {
 		return nil, d.err

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/mcu"
 	"repro/internal/profile"
@@ -127,10 +128,12 @@ func testState() *State {
 				ContextSwitches: 2, Preemptions: 1, SliceChecks: 400, BranchTraps: 300,
 				Relocations: 1, RelocatedBytes: 128, Terminations: 0,
 				HeapBytes: 64, StackBytes: 256, FreeBytes: 2048, Running: 1,
+				EnergyPJ: 213_500_000, EnergyCPUActivePJ: 213_000_000, EnergyCPUSleepPJ: 72,
+				EnergyRadioPJ: 420_000, EnergyUARTPJ: 60_000, EnergyADCPJ: 16_000, EnergyTimerPJ: 3_928,
 				Tasks: []telemetry.TaskSample{{
 					ID: 0, Name: "blink#0", State: "ready", RunCycles: 30_000, KernelCycles: 900,
 					StackUsed: 40, StackPeak: 96, StackAlloc: 128, HeapBytes: 16,
-					Traps: 12, Relocations: 1, Switches: 3,
+					Traps: 12, Relocations: 1, Switches: 3, EnergyPJ: 97_650_000,
 				}},
 			}},
 			TaskIDs:   []int32{0, 1},
@@ -150,6 +153,13 @@ func testState() *State {
 			Watches:     []profile.Watchpoint{{Addr: 0x310, Len: 2, Read: true, Write: true}},
 			Hits:        []profile.WatchHit{{Cycle: 123, Task: 0, PC: 0x34, Addr: 0x311, Write: true}},
 			DroppedHits: 1,
+		},
+		Energy: &energy.MeterState{
+			SleepCycles: 1024,
+			RadioBytes:  2, RadioCycles: 7680,
+			UARTBytes: 11, UARTCycles: 14_080,
+			ADCConvs: 5, ADCCycles: 8320,
+			TimerCycles: 50_000, TimerOn: true, TimerSince: 987_000_000,
 		},
 	}
 }
@@ -183,7 +193,7 @@ func TestRoundTrip(t *testing.T) {
 // telemetry, or profile state) round-trips with the absences preserved.
 func TestRoundTripNoObservers(t *testing.T) {
 	st := testState()
-	st.Trace, st.Telemetry, st.Profile = nil, nil, nil
+	st.Trace, st.Telemetry, st.Profile, st.Energy = nil, nil, nil, nil
 	blob, err := Encode(st)
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +202,7 @@ func TestRoundTripNoObservers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Trace != nil || got.Telemetry != nil || got.Profile != nil {
+	if got.Trace != nil || got.Telemetry != nil || got.Profile != nil || got.Energy != nil {
 		t.Error("absent observers decoded as present")
 	}
 	if !reflect.DeepEqual(got, st) {
@@ -296,10 +306,32 @@ func TestVersionBumpRejected(t *testing.T) {
 	if !errors.As(err, &ve) || ve.Got != SchemaVersion+1 {
 		t.Fatalf("error %v does not carry the declared version", err)
 	}
-	for _, part := range []string{"unsupported schema version 2", "supported: 1"} {
+	for _, part := range []string{"unsupported schema version 3", "supported: 2"} {
 		if !strings.Contains(err.Error(), part) {
 			t.Errorf("error %q does not mention %q", err, part)
 		}
+	}
+}
+
+// TestV1BlobRejected: a real schema-v1 blob (the retired golden, pinned in
+// testdata) fails with a typed VersionError carrying version 1 — there is no
+// cross-version migration, per the schema-evolution policy in DESIGN.md.
+func TestV1BlobRejected(t *testing.T) {
+	hexBlob, err := os.ReadFile(filepath.Join("testdata", "snapshot_v1.hex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hex.DecodeString(strings.TrimSpace(string(hexBlob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, decErr := Decode(blob)
+	if st != nil || !errors.Is(decErr, ErrVersion) {
+		t.Fatalf("Decode of v1 blob = (%v, %v), want ErrVersion", st, decErr)
+	}
+	var ve *VersionError
+	if !errors.As(decErr, &ve) || ve.Got != 1 {
+		t.Fatalf("error %v does not carry version 1", decErr)
 	}
 }
 
@@ -314,7 +346,7 @@ func TestGoldenFormat(t *testing.T) {
 	}
 	got := hex.EncodeToString(blob)
 
-	path := filepath.Join("testdata", "snapshot_v1.hex")
+	path := filepath.Join("testdata", "snapshot_v2.hex")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -142,7 +142,8 @@ async function tick() {
         card('idle %', (100 * last.idle_cycles / Math.max(last.cycle, 1)).toFixed(2)) +
         card('kernel %', (100 * kern(last) / Math.max(last.cycle, 1)).toFixed(2)) +
         card('switches', last.context_switches) + card('preemptions', last.preemptions) +
-        card('relocations', last.relocations) + card('running', last.running);
+        card('relocations', last.relocations) + card('running', last.running) +
+        (last.energy_pj ? card('energy mJ', (last.energy_pj / 1e9).toFixed(3)) : '');
       let sp =
         spark('idle fraction', ss.map(s => s.idle_cycles / Math.max(s.cycle, 1))) +
         spark('kernel cyc/sample', diff(ss, kern)) +
@@ -150,6 +151,13 @@ async function tick() {
         spark('relocs/sample', diff(ss, s => s.relocations)) +
         spark('stack bytes', ss.map(s => s.stack_bytes)) +
         spark('free bytes', ss.map(s => s.free_bytes));
+      if (last.energy_pj) {
+        // Power panel: per-interval draw (pJ/sample diffs) by component.
+        sp += spark('power pJ/sample', diff(ss, s => s.energy_pj || 0)) +
+          spark('cpu pJ/sample', diff(ss, s => (s.energy_cpu_active_pj || 0) + (s.energy_cpu_sleep_pj || 0))) +
+          spark('radio pJ/sample', diff(ss, s => s.energy_radio_pj || 0)) +
+          spark('uart+adc pJ/sample', diff(ss, s => (s.energy_uart_pj || 0) + (s.energy_adc_pj || 0)));
+      }
       const ids = (last.tasks || []).map(t => t.id);
       for (const id of ids)
         sp += spark('task ' + id + ' SP depth', ss.map(s =>

@@ -98,6 +98,18 @@ func (s *Sampler) WritePrometheus(w io.Writer) error {
 		add("sensmart_free_bytes", "Free application-area bytes.", "gauge", "", u(uint64(last.FreeBytes)))
 		add("sensmart_running_task", "Task id currently holding the CPU (-1 when idle).", "gauge",
 			"", strconv.FormatInt(int64(last.Running), 10))
+		if last.EnergyPJ > 0 {
+			// Energy metrics appear only on metered runs, like every other
+			// energy surface: an unmetered scrape is byte-identical to before.
+			add("sensmart_energy_picojoules_total", "Energy consumed since boot, by component.", "counter",
+				`{component="cpu_active"}`, u(last.EnergyCPUActivePJ))
+			add("sensmart_energy_picojoules_total", "", "", `{component="cpu_sleep"}`, u(last.EnergyCPUSleepPJ))
+			add("sensmart_energy_picojoules_total", "", "", `{component="radio"}`, u(last.EnergyRadioPJ))
+			add("sensmart_energy_picojoules_total", "", "", `{component="uart"}`, u(last.EnergyUARTPJ))
+			add("sensmart_energy_picojoules_total", "", "", `{component="adc"}`, u(last.EnergyADCPJ))
+			add("sensmart_energy_picojoules_total", "", "", `{component="timer"}`, u(last.EnergyTimerPJ))
+			add("sensmart_energy_total_picojoules", "Total energy consumed since boot.", "counter", "", u(last.EnergyPJ))
+		}
 
 		tasks := append([]TaskSample(nil), last.Tasks...)
 		sort.Slice(tasks, func(a, b int) bool { return tasks[a].ID < tasks[b].ID })
@@ -116,6 +128,9 @@ func (s *Sampler) WritePrometheus(w io.Writer) error {
 			add("sensmart_task_stack_peak_bytes", "Stack high-water mark per task.", "gauge", lb, u(uint64(t.StackPeak)))
 			add("sensmart_task_stack_alloc_bytes", "Allocated stack per task.", "gauge", lb, u(uint64(t.StackAlloc)))
 			add("sensmart_task_heap_bytes", "Heap bytes per task.", "gauge", lb, u(uint64(t.HeapBytes)))
+			if t.EnergyPJ > 0 {
+				add("sensmart_task_energy_picojoules_total", "CPU energy attributed to each task.", "counter", lb, u(t.EnergyPJ))
+			}
 		}
 	}
 

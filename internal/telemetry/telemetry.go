@@ -69,6 +69,11 @@ type TaskSample struct {
 	Traps       uint64 `json:"traps"`
 	Relocations int    `json:"relocations"`
 	Switches    int    `json:"switches"`
+	// EnergyPJ is the CPU energy attributed to the task so far (RunCycles at
+	// the active-draw coefficient), in picojoules. Present only when an
+	// energy meter is attached; omitted from NDJSON otherwise, so unmetered
+	// streams stay byte-identical.
+	EnergyPJ uint64 `json:"energy_pj,omitempty"`
 }
 
 // Sample is one cycle-stamped snapshot of the kernel-wide gauges plus every
@@ -104,6 +109,17 @@ type Sample struct {
 	FreeBytes  uint32 `json:"free_bytes"`
 	// Running is the task holding the CPU at the sample point, or -1.
 	Running int32 `json:"running"`
+	// Energy gauges (cumulative picojoules since boot), filled only when an
+	// energy meter is attached and omitted from NDJSON otherwise, so
+	// unmetered streams stay byte-identical. EnergyPJ is the system total;
+	// the rest are the per-component split of the same ledger.
+	EnergyPJ          uint64 `json:"energy_pj,omitempty"`
+	EnergyCPUActivePJ uint64 `json:"energy_cpu_active_pj,omitempty"`
+	EnergyCPUSleepPJ  uint64 `json:"energy_cpu_sleep_pj,omitempty"`
+	EnergyRadioPJ     uint64 `json:"energy_radio_pj,omitempty"`
+	EnergyUARTPJ      uint64 `json:"energy_uart_pj,omitempty"`
+	EnergyADCPJ       uint64 `json:"energy_adc_pj,omitempty"`
+	EnergyTimerPJ     uint64 `json:"energy_timer_pj,omitempty"`
 	// Tasks carries one entry per admitted task, in task-id order.
 	Tasks []TaskSample `json:"tasks"`
 }

@@ -19,6 +19,27 @@ type ServiceMetrics struct {
 	// Overhead is the kernel-overhead portion of Cycles: what the service
 	// cost beyond the patched instructions' native execution.
 	Overhead uint64
+	// EnergyPJ is the CPU energy the service's cycles cost, in picojoules.
+	// Zero unless an energy meter was attached.
+	EnergyPJ uint64
+}
+
+// EnergyMetrics is the per-device joules breakdown included in a Metrics
+// snapshot when an energy meter was attached (nil otherwise, so unmetered
+// renders stay byte-identical). All values are integer picojoules.
+type EnergyMetrics struct {
+	TotalPJ         uint64
+	CPUActivePJ     uint64
+	CPUSleepPJ      uint64
+	RadioPJ         uint64
+	UARTPJ          uint64
+	ADCPJ           uint64
+	TimerPJ         uint64
+	RadioBytes      uint64
+	UARTBytes       uint64
+	ADCConversions  uint64
+	CPUActiveCycles uint64
+	CPUSleepCycles  uint64
 }
 
 // TaskMetrics aggregates one task's timeline.
@@ -43,6 +64,10 @@ type TaskMetrics struct {
 	// Traps counts KTRAP services the task invoked, total and by service.
 	Traps     uint64
 	ByService []ServiceMetrics
+	// EnergyPJ is the CPU energy attributed to the task (RunCycles at the
+	// active-draw coefficient), in picojoules. Zero unless an energy meter
+	// was attached.
+	EnergyPJ uint64
 	// StackPeak is the stack high-water mark; StackAlloc the allocated
 	// stack bytes at snapshot time.
 	StackPeak  uint16
@@ -84,6 +109,9 @@ type Metrics struct {
 	// enabled (both zero otherwise).
 	Events        int
 	DroppedEvents uint64
+	// Energy is the per-device joules breakdown, non-nil only when an energy
+	// meter was attached (internal/energy).
+	Energy *EnergyMetrics
 }
 
 // OverheadRatio returns KernelCycles over busy (non-idle) cycles.
@@ -109,10 +137,19 @@ func (m *Metrics) Render() string {
 	if m.Events > 0 || m.DroppedEvents > 0 {
 		fmt.Fprintf(&b, "  trace: %d events recorded, %d dropped\n", m.Events, m.DroppedEvents)
 	}
+	if e := m.Energy; e != nil {
+		fmt.Fprintf(&b, "  energy: %d pJ total (cpu-active %d, cpu-sleep %d, radio %d, uart %d, adc %d, timer %d)\n",
+			e.TotalPJ, e.CPUActivePJ, e.CPUSleepPJ, e.RadioPJ, e.UARTPJ, e.ADCPJ, e.TimerPJ)
+		fmt.Fprintf(&b, "  energy devices: %d radio bytes, %d uart bytes, %d adc conversions\n",
+			e.RadioBytes, e.UARTBytes, e.ADCConversions)
+	}
 	if len(m.Services) > 0 {
 		fmt.Fprintf(&b, "  %-14s %10s %12s %12s\n", "service", "calls", "cycles", "overhead")
 		for _, s := range m.Services {
 			fmt.Fprintf(&b, "  %-14s %10d %12d %12d\n", s.Name, s.Calls, s.Cycles, s.Overhead)
+			if m.Energy != nil {
+				fmt.Fprintf(&b, "  %-14s %10s %12s %12d pJ\n", "", "", "", s.EnergyPJ)
+			}
 		}
 	}
 	for _, t := range m.Tasks {
@@ -123,6 +160,9 @@ func (m *Metrics) Render() string {
 		fmt.Fprintf(&b, "  task %-16s %-28s run=%d app=%d kernel=%d util=%.1f%% traps=%d stack peak=%dB alloc=%dB relocs=%d\n",
 			t.Name, status, t.RunCycles, t.AppCycles, t.KernelCycles,
 			100*t.Utilization, t.Traps, t.StackPeak, t.StackAlloc, t.Relocations)
+		if m.Energy != nil {
+			fmt.Fprintf(&b, "  task %-16s energy=%d pJ\n", t.Name, t.EnergyPJ)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRestoreState(t *testing.T) {
+	r := NewLimited(3)
+	r.Emit(Event{Cycle: 1, Kind: KindBoot, Task: -1, Arg: 5738})
+	r.Emit(Event{Cycle: 2, Kind: KindPower, Task: -1, Arg: PowerRadio, Arg2: 1})
+	r.Emit(Event{Cycle: 3, Kind: KindIdle, Task: -1, Arg: 100})
+	r.Emit(Event{Cycle: 4, Kind: KindHalt, Task: -1, Detail: "over limit"})
+
+	st := r.CaptureState()
+	if st.Limit != 3 || len(st.Events) != 3 || st.Dropped != 1 {
+		t.Fatalf("captured state = limit %d, %d events, %d dropped", st.Limit, len(st.Events), st.Dropped)
+	}
+
+	r2 := New()
+	r2.RestoreState(st)
+	if !bytes.Equal(r.Encode(), r2.Encode()) {
+		t.Fatal("restored recorder encodes differently")
+	}
+	if r2.Limit != 3 || r2.Dropped() != 1 {
+		t.Fatalf("restored recorder = limit %d, dropped %d", r2.Limit, r2.Dropped())
+	}
+
+	// No aliasing in either direction: scribbling the state must not change
+	// the restored recorder, and continued emission must not change the state.
+	st.Events[0].Detail = "scribbled"
+	if strings.Contains(string(r2.Encode()), "scribbled") {
+		t.Fatal("restored recorder aliases the state slice")
+	}
+	r.Emit(Event{Cycle: 5, Kind: KindBudget})
+	if st2 := r.CaptureState(); len(st2.Events) != 3 {
+		t.Fatalf("limited recorder retained %d events", len(st2.Events))
+	}
+}
+
+// TestFormatAllKinds drives Format over one event of every kind, with and
+// without a name resolver, pinning that no kind falls through to the raw
+// fallback line.
+func TestFormatAllKinds(t *testing.T) {
+	name := func(id int32) string { return "taskname" }
+	events := []Event{
+		{Kind: KindBoot, Task: -1, Arg: 5738},
+		{Kind: KindProgLoad, Task: -1, Arg: 0x100, Arg2: 64, Detail: "blink"},
+		{Kind: KindTaskSpawn, Task: 0, Arg: 0x200, Arg2: 512, Detail: "blink#0"},
+		{Kind: KindTaskExit, Task: 0, Arg: 96, Detail: "done"},
+		{Kind: KindSwitch, Task: 1, Arg: 1, Arg2: 2298},
+		{Kind: KindSwitch, Task: 1, Arg: 0, Arg2: 2298}, // from idle
+		{Kind: KindPreempt, Task: 1},
+		{Kind: KindSliceCheck, Task: 1},
+		{Kind: KindTrapEnter, Task: 0, Arg: 3},
+		{Kind: KindTrapExit, Task: 0, Arg: 3, Arg2: 80},
+		{Kind: KindReloc, Task: 0, Arg: 64, Arg2: 2326, Detail: "grow"},
+		{Kind: KindRelease, Task: 0, Arg: 512, Arg2: 100},
+		{Kind: KindMemFault, Task: 0, Arg: 0x10FE, PC: 0x44, Detail: "main"},
+		{Kind: KindSleep, Task: 0, Arg: 9000},
+		{Kind: KindWake, Task: 0},
+		{Kind: KindIdle, Task: -1, Arg: 4096},
+		{Kind: KindInterrupt, Task: -1, Arg: 2},
+		{Kind: KindHalt, Task: -1, Detail: "workload complete"},
+		{Kind: KindBudget, Task: -1, Arg: 1 << 30},
+		{Kind: KindWatch, Task: 0, Arg: 0x310, Arg2: 1, PC: 0x20, Detail: "main"},
+		{Kind: KindWatch, Task: 0, Arg: 0x310, Arg2: 0, PC: 0x20},
+		{Kind: KindPower, Task: -1, Arg: PowerRadio, Arg2: 1},
+		{Kind: KindPower, Task: -1, Arg: PowerUART, Arg2: 0},
+		{Kind: KindPower, Task: -1, Arg: PowerADC, Arg2: 1},
+		{Kind: KindPower, Task: -1, Arg: PowerTimer, Arg2: 0},
+	}
+	for _, e := range events {
+		for _, resolver := range []func(int32) string{name, nil} {
+			line := e.Format(resolver)
+			if line == "" {
+				t.Errorf("%s: empty format", e.Kind)
+			}
+			if strings.Contains(line, "arg2=") {
+				t.Errorf("%s fell through to the raw fallback: %s", e.Kind, line)
+			}
+		}
+	}
+	// The fallback line still renders for an unknown kind.
+	raw := Event{Kind: Kind(200), Task: 3, Arg: 1, Arg2: 2}.Format(nil)
+	if !strings.Contains(raw, "kind(200)") {
+		t.Errorf("unknown kind fallback = %q", raw)
+	}
+}
+
+func TestPowerFormatNames(t *testing.T) {
+	cases := []struct {
+		arg  uint64
+		want string
+	}{
+		{PowerRadio, "radio"},
+		{PowerUART, "uart"},
+		{PowerADC, "adc"},
+		{PowerTimer, "timer"},
+		{99, "device(99)"},
+	}
+	for _, tc := range cases {
+		line := Event{Kind: KindPower, Arg: tc.arg, Arg2: 1}.Format(nil)
+		if !strings.Contains(line, tc.want) {
+			t.Errorf("power arg %d formats to %q, want it to contain %q", tc.arg, line, tc.want)
+		}
+	}
+	if KindPower.String() != "power" {
+		t.Errorf("KindPower.String() = %q", KindPower.String())
+	}
+}
+
+// TestMetricsRenderEnergy: the energy section renders only when the
+// breakdown is present, so unmetered runs keep byte-identical output.
+func TestMetricsRenderEnergy(t *testing.T) {
+	m := &Metrics{
+		TotalCycles: 1000, IdleCycles: 100, KernelCycles: 200, AppCycles: 700,
+		Services: []ServiceMetrics{{Class: 1, Name: "direct-io", Calls: 4, Cycles: 8, Overhead: 8, EnergyPJ: 26040}},
+		Tasks:    []TaskMetrics{{ID: 0, Name: "blink#0", State: "ready", RunCycles: 900, EnergyPJ: 2929500}},
+	}
+	plain := m.Render()
+	if strings.Contains(plain, "energy") {
+		t.Fatalf("unmetered render mentions energy:\n%s", plain)
+	}
+	m.Energy = &EnergyMetrics{
+		TotalPJ: 3000000, CPUActivePJ: 2929500, CPUSleepPJ: 600,
+		RadioPJ: 42186240, RadioBytes: 1, UARTBytes: 2, ADCConversions: 3,
+	}
+	metered := m.Render()
+	for _, want := range []string{"energy: 3000000 pJ total", "radio 42186240", "energy=2929500 pJ", "26040 pJ", "1 radio bytes, 2 uart bytes, 3 adc conversions"} {
+		if !strings.Contains(metered, want) {
+			t.Errorf("metered render missing %q:\n%s", want, metered)
+		}
+	}
+}

@@ -88,7 +88,36 @@ const (
 	// read, PC is the instruction site, and Detail carries the symbolized
 	// site when a symbolizer is attached.
 	KindWatch
+	// KindPower records a device power-state transition observed by the
+	// energy meter: Arg is the device (see the Power* constants), Arg2 is 1
+	// when the device becomes busy and 0 when it goes idle. Emitted only
+	// when a recorder AND an energy meter are both attached, so untraced and
+	// unmetered runs keep byte-identical streams.
+	KindPower
 )
+
+// Power* identify the device of a KindPower event (its Arg field).
+const (
+	PowerRadio uint64 = iota + 1
+	PowerUART
+	PowerADC
+	PowerTimer
+)
+
+// powerDevice renders a KindPower Arg.
+func powerDevice(arg uint64) string {
+	switch arg {
+	case PowerRadio:
+		return "radio"
+	case PowerUART:
+		return "uart"
+	case PowerADC:
+		return "adc"
+	case PowerTimer:
+		return "timer"
+	}
+	return fmt.Sprintf("device(%d)", arg)
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -130,6 +159,8 @@ func (k Kind) String() string {
 		return "budget"
 	case KindWatch:
 		return "watch"
+	case KindPower:
+		return "power"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -229,6 +260,12 @@ func (e Event) Format(name func(int32) string) string {
 			s += " in " + e.Detail
 		}
 		return s
+	case KindPower:
+		state := "idle"
+		if e.Arg2 != 0 {
+			state = "busy"
+		}
+		return fmt.Sprintf("[%d] power %s -> %s", e.Cycle, powerDevice(e.Arg), state)
 	}
 	return fmt.Sprintf("[%d] %s task=%d arg=%d arg2=%d %s", e.Cycle, e.Kind, e.Task, e.Arg, e.Arg2, e.Detail)
 }
