@@ -97,11 +97,15 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/sensmart-bench -exp benchparallel -parallel 4 -activations 40 -out BENCH_parallel.json
 
-# The interp gate is host-relative where it can be (the suite-aggregate
-# fast/checked speedup must stay >= 1.1x) and uses a wide tolerance band on
-# the absolute MIPS floor so a slower CI host doesn't flake the build.
+# The interp gate is host-relative where it can be: the suite-aggregate
+# fast/checked speedup must stay >= 1.3x, block translation must keep fused
+# mode >= 1.05x over the fast loop, and the end-to-end checked/fused figure
+# must stay >= 1.5x (the floor raised when translation landed). The armed
+# telemetry/energy passes must stay under 1% overhead, and a wide tolerance
+# band on the absolute MIPS floor keeps a slower CI host from flaking the
+# build.
 bench-interp:
-	$(GO) run ./cmd/sensmart-bench -exp interp -reps 5 -out BENCH_interp.json -baseline BENCH_interp.baseline.json
+	$(GO) run ./cmd/sensmart-bench -exp interp -reps 5 -out BENCH_interp.json -baseline BENCH_interp.baseline.json -min-speedup 1.3 -min-fused 1.05 -min-total 1.5
 
 # Schema-aware cross-run diff of the freshly generated interp numbers
 # against the committed baseline. The 60% band is deliberately wide for the

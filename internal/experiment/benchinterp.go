@@ -13,35 +13,54 @@ import (
 	"repro/internal/telemetry"
 )
 
-// InterpBenchPoint is one kernel benchmark timed under the two interpreter
+// InterpBenchPoint is one kernel benchmark timed under the three interpreter
 // modes: the checked stepwise loop (every instruction goes through Step with
-// its per-instruction device/pending/fault checks) and the event-horizon
-// fast loop that `Run` uses by default.
+// its per-instruction device/pending/fault checks), the per-op event-horizon
+// fast loop (block translation disabled), and the translated loop that `Run`
+// uses by default, where hot basic blocks execute as fused superinstructions.
 type InterpBenchPoint struct {
 	Benchmark string `json:"benchmark"`
 	Cycles    uint64 `json:"simulated_cycles"`
 	// Instructions is the retired-instruction count, identical across modes.
-	Instructions uint64  `json:"instructions"`
-	CheckedMs    float64 `json:"checked_ms"`
-	FastMs       float64 `json:"fast_ms"`
-	// CheckedMIPS and FastMIPS are host millions of instructions per second.
+	Instructions uint64 `json:"instructions"`
+	// The wall times cover the kernel run alone: machine construction,
+	// program rewrite, task admission, and boot happen before the timer
+	// starts, because their cost is dominated by host allocation — noisy
+	// enough (most of a millisecond either way on a busy allocator) to
+	// swamp the sub-1% armed-overhead deltas gated below.
+	CheckedMs float64 `json:"checked_ms"`
+	FastMs    float64 `json:"fast_ms"`
+	FusedMs   float64 `json:"fused_ms"`
+	// CheckedMIPS, FastMIPS, and FusedMIPS are host millions of instructions
+	// per second under each mode.
 	CheckedMIPS float64 `json:"checked_mips"`
 	FastMIPS    float64 `json:"fast_mips"`
+	FusedMIPS   float64 `json:"fused_mips"`
 	// Speedup is FastMIPS/CheckedMIPS — a host-relative ratio, so it is far
 	// more stable across machines than either absolute MIPS figure.
 	Speedup float64 `json:"speedup"`
-	// TelemetryArmedMs times the fast loop with a telemetry sampler attached
-	// whose interval exceeds the run length, so it never fires: the delta
-	// against FastMs isolates the armed check itself (one compare per
-	// outer-loop pass — the fast inner loop is untouched).
+	// FusedSpeedup is FusedMIPS/FastMIPS: the additional gain block
+	// translation buys over the per-op fast loop it replaced.
+	FusedSpeedup float64 `json:"fused_speedup"`
+	// BlocksBuilt / BlockInvalidations / FusedFrac come from the fused run's
+	// translation stats: how many basic blocks were translated, how many were
+	// killed by flash writes, and what fraction of retired instructions
+	// executed inside fused superinstructions.
+	BlocksBuilt        uint64  `json:"blocks_built"`
+	BlockInvalidations uint64  `json:"block_invalidations"`
+	FusedFrac          float64 `json:"fused_frac"`
+	// TelemetryArmedMs times the default (translated) loop with a telemetry
+	// sampler attached whose interval exceeds the run length, so it never
+	// fires: the delta against FusedMs isolates the armed check itself (one
+	// compare per outer-loop pass — the inner loops are untouched).
 	TelemetryArmedMs float64 `json:"telemetry_armed_ms"`
-	// EnergyArmedMs times the fast loop with an energy meter attached: the
+	// EnergyArmedMs times the default loop with an energy meter attached: the
 	// meter's hooks live at device transition points and the sleep path, none
-	// of them on the per-instruction fast loop, so the delta against FastMs
-	// bounds what merely attaching a meter costs.
+	// of them on the per-instruction or fused paths, so the delta against
+	// FusedMs bounds what merely attaching a meter costs.
 	EnergyArmedMs float64 `json:"energy_armed_ms"`
-	// CyclesIdentical confirms the fast loop is an optimization, not a
-	// different simulation: both modes must retire the same instructions
+	// CyclesIdentical confirms the fast and fused loops are optimizations,
+	// not different simulations: every mode must retire the same instructions
 	// and simulate the same cycles.
 	CyclesIdentical bool `json:"cycles_identical"`
 }
@@ -52,7 +71,9 @@ type InterpBench struct {
 	Reps int    `json:"reps"`
 	Note string `json:"note"`
 	// SerialFastMs / SerialFastMIPS aggregate the whole suite run
-	// back-to-back on one goroutine in fast mode.
+	// back-to-back on one goroutine in the default configuration (fused
+	// blocks at FusedThreshold). The JSON names predate translation; they
+	// now measure whatever `Run` does by default.
 	SerialFastMs   float64 `json:"serial_fast_ms"`
 	SerialFastMIPS float64 `json:"serial_fast_mips"`
 	// ParallelFastMs / ParallelFastMIPS run the same suite under the
@@ -67,14 +88,28 @@ type InterpBench struct {
 	// SuiteSpeedup is sum(checked_ms)/sum(fast_ms) across the whole suite —
 	// dominated by the long benchmarks, so it is stable enough to gate on.
 	SuiteSpeedup float64 `json:"suite_speedup"`
-	// TelemetryOverheadPct is the suite-summed armed-telemetry vs disabled
-	// fast-loop wall-clock delta, clamped at zero. The sampler never fires
-	// during the armed runs, so this bounds what merely attaching telemetry
-	// costs; the interp gate requires it to stay under 1%. Suite sums of
-	// best-of-reps minima keep the figure stable against scheduler noise.
+	// FusedThreshold is the block-translation landing threshold the fused
+	// passes ran at (the mcu default unless overridden on the CLI).
+	FusedThreshold int `json:"fused_threshold"`
+	// FusedSuiteSpeedup is sum(fast_ms)/sum(fused_ms): the additional
+	// suite-aggregate gain from basic-block superinstruction translation over
+	// the per-op fast loop. Host-relative, so stable enough to gate on.
+	FusedSuiteSpeedup float64 `json:"fused_suite_speedup"`
+	// TotalSuiteSpeedup is sum(checked_ms)/sum(fused_ms): the end-to-end
+	// gain of the default interpreter configuration over the checked loop.
+	TotalSuiteSpeedup float64 `json:"total_suite_speedup"`
+	// TelemetryOverheadPct is the armed-telemetry vs disabled default-loop
+	// wall-clock delta, as a percentage of the fused suite floor. The sampler
+	// never fires during the armed runs, so this bounds what merely attaching
+	// telemetry costs; the interp gate requires it to stay under 1%. Each
+	// benchmark contributes its smallest same-rep armed-minus-fused delta
+	// (clamped at zero): adjacent passes share host state, so the paired
+	// delta cancels the slow drift that independent best-of-reps minima
+	// cannot, and host noise only ever adds time, so one quiet rep bounds
+	// the real overhead from above.
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
-	// EnergyOverheadPct is the same suite-summed armed-vs-disabled delta for
-	// an attached energy meter, gated under 1% like telemetry.
+	// EnergyOverheadPct is the same paired armed-vs-disabled estimate for an
+	// attached energy meter, gated under 1% like telemetry.
 	EnergyOverheadPct  float64            `json:"energy_overhead_pct"`
 	AllCyclesIdentical bool               `json:"all_cycles_identical"`
 	Benchmarks         []InterpBenchPoint `json:"benchmarks"`
@@ -92,28 +127,38 @@ func mips(insts uint64, ms float64) float64 {
 }
 
 // BenchInterp times the seven kernel benchmarks under the checked stepwise
-// interpreter and the event-horizon fast loop, then re-times the fast suite
-// serially and under the parallel pool. It backs `make bench-interp` and
+// interpreter, the per-op event-horizon fast loop (translation off), and the
+// default translated loop (fused basic blocks at the given landing threshold;
+// 0 selects the mcu default), then re-times the default suite serially and
+// under the parallel pool. It backs `make bench-interp` and
 // BENCH_interp.json.
-func BenchInterp(reps, workers int) (*InterpBench, error) {
+func BenchInterp(reps, workers, threshold int) (*InterpBench, error) {
 	if reps <= 0 {
 		reps = 3
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if threshold <= 0 {
+		threshold = mcu.DefaultTranslationThreshold
+	}
 	b := &InterpBench{
 		BenchMeta: NewBenchMeta("interp", "kernel7"),
 		Reps:      reps,
 		Note: "checked mode forces the per-instruction Step path (stepwise), which already uses the " +
-			"predecoded micro-op cache; speedup therefore isolates the event-horizon loop and " +
-			"understates the gain over the pre-predecode interpreter. Interleaved best-of-8 runs " +
-			"of the whole suite against the pre-predecode build on the same host measured 46-49 ms " +
-			"(seed) vs 22-25 ms (this build), a 2.0-2.1x throughput gain; see EXPERIMENTS.md",
+			"predecoded micro-op cache; fast mode is the event-horizon loop with block translation " +
+			"disabled; fused mode is the default configuration, with hot basic blocks translated " +
+			"into superinstructions. fused_speedup isolates the translation gain over the per-op " +
+			"loop; suite_speedup isolates the event-horizon loop over stepwise; see EXPERIMENTS.md",
 		ParallelWorkers:    workers,
+		FusedThreshold:     threshold,
 		AllCyclesIdentical: true,
 	}
 	benchmarks := progs.KernelBenchmarks()
+	// Suite sums of the per-benchmark paired armed-vs-fused deltas (see the
+	// rep loop below); the overhead percentages divide them by the fused
+	// suite floor.
+	telDeltaSum, energyDeltaSum := 0.0, 0.0
 	// The overhead gates compare wall times that differ by well under a
 	// millisecond, so a collector cycle landing inside one timed pass but not
 	// its counterpart reads as overhead (worst on single-CPU hosts, where the
@@ -124,79 +169,134 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 	for _, kb := range benchmarks {
 		p := InterpBenchPoint{Benchmark: kb.Name}
 
-		var checkedM, fastM *mcu.Machine
-		var err error
-		p.CheckedMs, p.Cycles, err = timeRun(func() (*senSmartRun, error) {
+		// One timed pass: build and boot everything first, then time the
+		// kernel run alone. Setup (machine construction, program rewrite,
+		// task admission, boot) is dominated by host allocation, whose cost
+		// swings by most of a millisecond with allocator state — enough to
+		// swamp the sub-1% deltas the armed gates measure — so it stays
+		// outside the timed window. The collection before the timer starts
+		// for the same reason: a GC pause landing inside one pass but not
+		// its counterpart reads as overhead (worst on single-CPU hosts,
+		// where the collector shares the measuring core).
+		runPass := func(stepwise bool, thr int, cfg kernel.Config) (*mcu.Machine, float64, error) {
 			m := mcu.New()
-			m.SetStepwise(true)
-			checkedM = m
-			return runSenSmartOn(m, kernel.Config{}, interpBenchLimit, kb.Program.Clone())
-		}, reps)
-		if err != nil {
-			return nil, fmt.Errorf("%s checked: %w", kb.Name, err)
-		}
-		// Fast-loop, armed-telemetry, and armed-energy passes interleave rep
-		// by rep: the paths differ by one branch per outer-loop pass (or per
-		// device transition for energy), so any measured gap beyond noise is
-		// real, and interleaving keeps slow host drift (thermal, cgroup
-		// throttling) from biasing one side.
-		var fastCycles, armedCycles, energyCycles uint64
-		for i := 0; i < reps; i++ {
-			// A GC pause landing inside one pass but not another would read as
-			// overhead; collecting before each timed section keeps the collector
-			// out of the comparison (matters most on single-CPU hosts, where the
-			// collector shares the measuring core).
+			m.SetStepwise(stepwise)
+			m.SetTranslation(thr)
+			k, err := bootSenSmart(m, cfg, kb.Program.Clone())
+			if err != nil {
+				return nil, 0, err
+			}
 			runtime.GC()
 			start := time.Now()
-			m := mcu.New()
-			fastM = m
-			run, err := runSenSmartOn(m, kernel.Config{}, interpBenchLimit, kb.Program.Clone())
+			err = k.Run(interpBenchLimit)
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !k.Done() {
+				return nil, 0, fmt.Errorf("%d-cycle limit hit before completion", interpBenchLimit)
+			}
+			return m, ms, nil
+		}
+
+		var checkedM, fastM, fusedM *mcu.Machine
+		for i := 0; i < reps; i++ {
+			m, ms, err := runPass(true, -1, kernel.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("%s checked: %w", kb.Name, err)
+			}
+			if i == 0 || ms < p.CheckedMs {
+				p.CheckedMs = ms
+			}
+			checkedM = m
+			p.Cycles = m.Cycles()
+		}
+		// Fast-loop, fused-loop, armed-telemetry, and armed-energy passes
+		// interleave rep by rep: the fast/fused pair differ only in block
+		// translation, the armed pairs differ by one branch per outer-loop
+		// pass (or per device transition for energy), so any measured gap
+		// beyond noise is real, and interleaving keeps slow host drift
+		// (thermal, cgroup throttling) from biasing one side. The armed
+		// overhead estimates pair each armed time against the fused time of
+		// the same rep — adjacent passes share host state, so the paired
+		// delta cancels drift the independent best-of-reps minima can't —
+		// and keep the smallest delta across reps: noise only ever adds
+		// time, so any single quiet rep bounds the real overhead from above.
+		var fastCycles, fusedCycles, armedCycles, energyCycles uint64
+		telDelta, energyDelta := 0.0, 0.0
+		for i := 0; i < reps; i++ {
+			m, ms, err := runPass(false, -1, kernel.Config{})
 			if err != nil {
 				return nil, fmt.Errorf("%s fast: %w", kb.Name, err)
 			}
-			ms := float64(time.Since(start)) / float64(time.Millisecond)
 			if i == 0 || ms < p.FastMs {
 				p.FastMs = ms
 			}
-			fastCycles = run.Cycles
+			fastM, fastCycles = m, m.Cycles()
+
+			m, fusedRepMs, err := runPass(false, threshold, kernel.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("%s fused: %w", kb.Name, err)
+			}
+			if i == 0 || fusedRepMs < p.FusedMs {
+				p.FusedMs = fusedRepMs
+			}
+			fusedM, fusedCycles = m, m.Cycles()
 
 			samp := telemetry.New(telemetry.Options{Every: interpBenchLimit, Ring: 8})
-			runtime.GC()
-			start = time.Now()
-			armedRun, err := runSenSmart(kernel.Config{Telemetry: samp}, interpBenchLimit, kb.Program.Clone())
+			m, ms, err = runPass(false, threshold, kernel.Config{Telemetry: samp})
 			if err != nil {
 				return nil, fmt.Errorf("%s telemetry-armed: %w", kb.Name, err)
 			}
-			ms = float64(time.Since(start)) / float64(time.Millisecond)
 			if i == 0 || ms < p.TelemetryArmedMs {
 				p.TelemetryArmedMs = ms
 			}
-			armedCycles = armedRun.Cycles
+			if d := ms - fusedRepMs; i == 0 || d < telDelta {
+				telDelta = d
+			}
+			armedCycles = m.Cycles()
 
-			meter := new(energy.Meter)
-			runtime.GC()
-			start = time.Now()
-			energyRun, err := runSenSmart(kernel.Config{Energy: meter}, interpBenchLimit, kb.Program.Clone())
+			m, ms, err = runPass(false, threshold, kernel.Config{Energy: new(energy.Meter)})
 			if err != nil {
 				return nil, fmt.Errorf("%s energy-armed: %w", kb.Name, err)
 			}
-			ms = float64(time.Since(start)) / float64(time.Millisecond)
 			if i == 0 || ms < p.EnergyArmedMs {
 				p.EnergyArmedMs = ms
 			}
-			energyCycles = energyRun.Cycles
+			if d := ms - fusedRepMs; i == 0 || d < energyDelta {
+				energyDelta = d
+			}
+			energyCycles = m.Cycles()
 		}
+		// Clamp at zero per benchmark: real overhead cannot be negative, and
+		// letting a lucky negative delta on one benchmark offset a real cost
+		// on another would hide regressions.
+		telDeltaSum += max(telDelta, 0)
+		energyDeltaSum += max(energyDelta, 0)
 		p.Instructions = fastM.Instructions()
 		p.CheckedMIPS = mips(checkedM.Instructions(), p.CheckedMs)
 		p.FastMIPS = mips(p.Instructions, p.FastMs)
+		p.FusedMIPS = mips(fusedM.Instructions(), p.FusedMs)
 		if p.CheckedMIPS > 0 {
 			p.Speedup = p.FastMIPS / p.CheckedMIPS
 		}
-		p.CyclesIdentical = p.Cycles == fastCycles && p.Cycles == armedCycles &&
-			p.Cycles == energyCycles && checkedM.Instructions() == fastM.Instructions()
+		if p.FastMIPS > 0 {
+			p.FusedSpeedup = p.FusedMIPS / p.FastMIPS
+		}
+		st := fusedM.TranslationStats()
+		p.BlocksBuilt = st.Built
+		p.BlockInvalidations = st.Invalidations
+		if n := fusedM.Instructions(); n > 0 {
+			p.FusedFrac = float64(st.FusedInsts) / float64(n)
+		}
+		p.CyclesIdentical = p.Cycles == fastCycles && p.Cycles == fusedCycles &&
+			p.Cycles == armedCycles && p.Cycles == energyCycles &&
+			checkedM.Instructions() == fastM.Instructions() &&
+			checkedM.Instructions() == fusedM.Instructions()
 		if !p.CyclesIdentical {
-			return nil, fmt.Errorf("%s: fast loop perturbed the simulation (%d vs %d vs %d vs %d cycles, %d vs %d insts)",
-				kb.Name, p.Cycles, fastCycles, armedCycles, energyCycles, checkedM.Instructions(), fastM.Instructions())
+			return nil, fmt.Errorf("%s: fast/fused loops perturbed the simulation (%d vs %d vs %d vs %d vs %d cycles, %d vs %d vs %d insts)",
+				kb.Name, p.Cycles, fastCycles, fusedCycles, armedCycles, energyCycles,
+				checkedM.Instructions(), fastM.Instructions(), fusedM.Instructions())
 		}
 		if b.MinSpeedup == 0 || p.Speedup < b.MinSpeedup {
 			b.MinSpeedup = p.Speedup
@@ -204,27 +304,30 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 		b.Benchmarks = append(b.Benchmarks, p)
 	}
 
-	// Whole-suite fast-mode wall time: serial, then under the worker pool.
+	// Whole-suite default-mode wall time: serial, then under the worker pool.
 	var totalInsts uint64
-	var checkedMs, fastMs, armedMs, energyMs float64
+	var checkedMs, fastMs, fusedMs float64
 	for _, p := range b.Benchmarks {
 		totalInsts += p.Instructions
 		checkedMs += p.CheckedMs
 		fastMs += p.FastMs
-		armedMs += p.TelemetryArmedMs
-		energyMs += p.EnergyArmedMs
+		fusedMs += p.FusedMs
 	}
 	if fastMs > 0 {
 		b.SuiteSpeedup = checkedMs / fastMs
-		if armedMs > fastMs {
-			b.TelemetryOverheadPct = 100 * (armedMs - fastMs) / fastMs
-		}
-		if energyMs > fastMs {
-			b.EnergyOverheadPct = 100 * (energyMs - fastMs) / fastMs
-		}
+	}
+	if fusedMs > 0 {
+		b.FusedSuiteSpeedup = fastMs / fusedMs
+		b.TotalSuiteSpeedup = checkedMs / fusedMs
+		// The armed runs use the default (translated) configuration, so the
+		// overhead baseline is the fused pass, not the per-op fast pass.
+		b.TelemetryOverheadPct = 100 * telDeltaSum / fusedMs
+		b.EnergyOverheadPct = 100 * energyDeltaSum / fusedMs
 	}
 	runPoint := func(i int) (uint64, error) {
-		run, err := runSenSmart(kernel.Config{}, interpBenchLimit, benchmarks[i].Program.Clone())
+		m := mcu.New()
+		m.SetTranslation(threshold)
+		run, err := runSenSmartOn(m, kernel.Config{}, interpBenchLimit, benchmarks[i].Program.Clone())
 		if err != nil {
 			return 0, err
 		}
@@ -259,18 +362,26 @@ func BenchInterp(reps, workers int) (*InterpBench, error) {
 }
 
 // CheckInterpBaseline gates a fresh InterpBench against a committed
-// baseline. Absolute MIPS figures vary with the host, so the primary gate
-// is the host-relative suite-aggregate fast/checked speedup; the serial MIPS
-// is only required to stay inside a wide tolerance band around the
-// baseline, catching order-of-magnitude regressions without flaking on
-// hardware differences.
-func CheckInterpBaseline(cur, base *InterpBench, minSpeedup, tolerancePct float64) error {
+// baseline. Absolute MIPS figures vary with the host, so the primary gates
+// are the host-relative suite-aggregate ratios — fast/checked, fused/fast,
+// and the end-to-end checked/fused floor; the serial MIPS is only required
+// to stay inside a wide tolerance band around the baseline, catching
+// order-of-magnitude regressions without flaking on hardware differences.
+func CheckInterpBaseline(cur, base *InterpBench, minSpeedup, minFused, minTotal, tolerancePct float64) error {
 	if !cur.AllCyclesIdentical {
 		return fmt.Errorf("interp gate: cycle counts diverged between interpreter modes")
 	}
 	if cur.SuiteSpeedup < minSpeedup {
 		return fmt.Errorf("interp gate: suite fast/checked speedup %.2fx below required %.2fx",
 			cur.SuiteSpeedup, minSpeedup)
+	}
+	if cur.FusedSuiteSpeedup < minFused {
+		return fmt.Errorf("interp gate: suite fused/fast speedup %.2fx below required %.2fx",
+			cur.FusedSuiteSpeedup, minFused)
+	}
+	if cur.TotalSuiteSpeedup < minTotal {
+		return fmt.Errorf("interp gate: suite checked/fused speedup %.2fx below required %.2fx",
+			cur.TotalSuiteSpeedup, minTotal)
 	}
 	if cur.TelemetryOverheadPct >= 1.0 {
 		return fmt.Errorf("interp gate: armed-telemetry fast-loop overhead %.2f%% at or above the 1%% budget",

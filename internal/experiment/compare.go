@@ -158,6 +158,13 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 	switch oldF.meta.Kind {
 	case "interp":
 		o, n := oldF.interp, newF.interp
+		// Baselines written before block translation carry no fused columns;
+		// comparing against zeros would read as a regression, so only emit
+		// fused rows when both files have them.
+		haveFused := o.FusedSuiteSpeedup > 0 && n.FusedSuiteSpeedup > 0
+		if o.FusedSuiteSpeedup > 0 != (n.FusedSuiteSpeedup > 0) {
+			notes = append(notes, "fused-translation columns present in only one file; skipped")
+		}
 		byName := make(map[string]InterpBenchPoint, len(o.Benchmarks))
 		for _, p := range o.Benchmarks {
 			byName[p.Benchmark] = p
@@ -173,6 +180,11 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 				compareRow{np.Benchmark, "fast_mips", "MIPS", op.FastMIPS, np.FastMIPS, true},
 				compareRow{np.Benchmark, "checked_mips", "MIPS", op.CheckedMIPS, np.CheckedMIPS, true},
 				compareRow{np.Benchmark, "speedup", "x", op.Speedup, np.Speedup, true})
+			if haveFused {
+				rows = append(rows,
+					compareRow{np.Benchmark, "fused_mips", "MIPS", op.FusedMIPS, np.FusedMIPS, true},
+					compareRow{np.Benchmark, "fused_speedup", "x", op.FusedSpeedup, np.FusedSpeedup, true})
+			}
 		}
 		for name := range byName {
 			missing("benchmark", name)
@@ -180,6 +192,10 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 		rows = append(rows,
 			compareRow{"suite", "serial_fast_mips", "MIPS", o.SerialFastMIPS, n.SerialFastMIPS, true},
 			compareRow{"suite", "suite_speedup", "x", o.SuiteSpeedup, n.SuiteSpeedup, true})
+		if haveFused {
+			rows = append(rows,
+				compareRow{"suite", "fused_suite_speedup", "x", o.FusedSuiteSpeedup, n.FusedSuiteSpeedup, true})
+		}
 	case "profile":
 		o, n := oldF.profile, newF.profile
 		byName := make(map[string]ProfileBenchPoint, len(o.Benchmarks))

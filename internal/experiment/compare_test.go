@@ -14,13 +14,18 @@ func interpFixture(fastMIPS float64) *InterpBench {
 		SerialFastMs:       10,
 		SerialFastMIPS:     fastMIPS,
 		SuiteSpeedup:       3.0,
+		FusedThreshold:     32,
+		FusedSuiteSpeedup:  2.0,
+		TotalSuiteSpeedup:  6.0,
 		AllCyclesIdentical: true,
 	}
 	b.Benchmarks = []InterpBenchPoint{
-		{Benchmark: "lfsr", Cycles: 1000, Instructions: 500, CheckedMs: 3, FastMs: 1,
-			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, Speedup: 3, CyclesIdentical: true},
-		{Benchmark: "sort", Cycles: 2000, Instructions: 900, CheckedMs: 6, FastMs: 2,
-			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, Speedup: 3, CyclesIdentical: true},
+		{Benchmark: "lfsr", Cycles: 1000, Instructions: 500, CheckedMs: 3, FastMs: 1, FusedMs: 0.5,
+			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, FusedMIPS: 2 * fastMIPS,
+			Speedup: 3, FusedSpeedup: 2, CyclesIdentical: true},
+		{Benchmark: "sort", Cycles: 2000, Instructions: 900, CheckedMs: 6, FastMs: 2, FusedMs: 1,
+			CheckedMIPS: fastMIPS / 3, FastMIPS: fastMIPS, FusedMIPS: 2 * fastMIPS,
+			Speedup: 3, FusedSpeedup: 2, CyclesIdentical: true},
 	}
 	return b
 }
@@ -275,11 +280,11 @@ func TestCompareEnergyMissingBaselineNoted(t *testing.T) {
 func TestCheckInterpBaselineTelemetryGate(t *testing.T) {
 	base := interpFixture(100)
 	cur := interpFixture(100)
-	if err := CheckInterpBaseline(cur, base, 1.5, 40); err != nil {
+	if err := CheckInterpBaseline(cur, base, 1.5, 1.3, 1.5, 40); err != nil {
 		t.Fatalf("clean bench failed the gate: %v", err)
 	}
 	cur.TelemetryOverheadPct = 1.5
-	if err := CheckInterpBaseline(cur, base, 1.5, 40); err == nil {
+	if err := CheckInterpBaseline(cur, base, 1.5, 1.3, 1.5, 40); err == nil {
 		t.Fatal("1.5% armed-telemetry overhead passed the <1% gate")
 	}
 }
@@ -290,7 +295,56 @@ func TestCheckInterpBaselineEnergyGate(t *testing.T) {
 	base := interpFixture(100)
 	cur := interpFixture(100)
 	cur.EnergyOverheadPct = 1.5
-	if err := CheckInterpBaseline(cur, base, 1.5, 40); err == nil {
+	if err := CheckInterpBaseline(cur, base, 1.5, 1.3, 1.5, 40); err == nil {
 		t.Fatal("1.5% armed-energy overhead passed the <1% gate")
+	}
+}
+
+func TestCheckInterpBaselineFusedGate(t *testing.T) {
+	base := interpFixture(100)
+	cur := interpFixture(100)
+	cur.FusedSuiteSpeedup = 1.1
+	if err := CheckInterpBaseline(cur, base, 1.5, 1.3, 1.5, 40); err == nil {
+		t.Fatal("1.1x fused suite speedup passed the 1.3x gate")
+	}
+}
+
+func TestCheckInterpBaselineTotalGate(t *testing.T) {
+	base := interpFixture(100)
+	cur := interpFixture(100)
+	cur.TotalSuiteSpeedup = 1.4
+	if err := CheckInterpBaseline(cur, base, 1.5, 1.3, 1.5, 40); err == nil {
+		t.Fatal("1.4x total suite speedup passed the 1.5x gate")
+	}
+}
+
+func TestCompareInterpOldBaselineWithoutFusedColumns(t *testing.T) {
+	// A baseline written before block translation has zero fused columns;
+	// the comparator must skip them (with a note), not flag regressions.
+	old := interpFixture(100)
+	old.FusedSuiteSpeedup = 0
+	old.TotalSuiteSpeedup = 0
+	for i := range old.Benchmarks {
+		old.Benchmarks[i].FusedMs = 0
+		old.Benchmarks[i].FusedMIPS = 0
+		old.Benchmarks[i].FusedSpeedup = 0
+	}
+	oldPath := writeFixture(t, "old.json", old)
+	curPath := writeFixture(t, "new.json", interpFixture(100))
+	tbl, regressions, err := CompareBenchFiles(oldPath, curPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("fused columns vs pre-translation baseline flagged: %v", regressions)
+	}
+	noted := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "fused") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("skipped fused columns not noted: %v", tbl.Notes)
 	}
 }

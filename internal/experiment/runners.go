@@ -85,6 +85,26 @@ func runSenSmart(cfg kernel.Config, limit uint64, programs ...*image.Program) (*
 // can configure the interpreter (e.g. force the checked stepwise loop)
 // before the kernel boots.
 func runSenSmartOn(m *mcu.Machine, cfg kernel.Config, limit uint64, programs ...*image.Program) (*senSmartRun, error) {
+	k, err := bootSenSmart(m, cfg, programs...)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Run(limit); err != nil {
+		return nil, err
+	}
+	if !k.Done() {
+		return nil, fmt.Errorf("experiment: %d-cycle limit hit before completion", limit)
+	}
+	return &senSmartRun{K: k, Cycles: m.Cycles(), Idle: m.IdleCycles()}, nil
+}
+
+// bootSenSmart is everything runSenSmartOn does before the run itself:
+// naturalize the programs, admit them as tasks, and boot the kernel. The
+// throughput benchmarks use the split to keep setup — dominated by host
+// allocation, whose cost swings by most of a millisecond with allocator
+// state — out of their timed windows; everything else goes through
+// runSenSmartOn.
+func bootSenSmart(m *mcu.Machine, cfg kernel.Config, programs ...*image.Program) (*kernel.Kernel, error) {
 	k := kernel.New(m, cfg)
 	for i, p := range programs {
 		nat, err := naturalize(p, rewriter.Config{})
@@ -98,13 +118,7 @@ func runSenSmartOn(m *mcu.Machine, cfg kernel.Config, limit uint64, programs ...
 	if err := k.Boot(); err != nil {
 		return nil, err
 	}
-	if err := k.Run(limit); err != nil {
-		return nil, err
-	}
-	if !k.Done() {
-		return nil, fmt.Errorf("experiment: %d-cycle limit hit before completion", limit)
-	}
-	return &senSmartRun{K: k, Cycles: m.Cycles(), Idle: m.IdleCycles()}, nil
+	return k, nil
 }
 
 // runNativeCycles executes a program bare-metal and returns its cycle count.

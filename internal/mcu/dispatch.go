@@ -44,6 +44,10 @@ type uop struct {
 	// fast loop breaks after one so the run-loop preconditions are
 	// re-examined before the next fetch.
 	checked bool
+	// ctl marks control transfers: the PC after one may be a basic-block
+	// leader, so the fast loop gives the block translator a chance to
+	// dispatch there (see translate.go).
+	ctl bool
 }
 
 // dispatch maps each op to its handler. It is sized for a full byte index so
@@ -160,6 +164,7 @@ func (m *Machine) buildUop(pc uint32) error {
 	words, cycles := in.Op.Meta()
 	*u = uop{in: in, d: in.Dst, s: in.Src, cycles: uint8(cycles)}
 	u.next = (pc + uint32(words)) & (FlashWords - 1)
+	u.ctl = in.IsControlTransfer()
 
 	switch in.Op {
 	case avr.OpKtrap, avr.OpSleep:

@@ -151,6 +151,14 @@ type Machine struct {
 	uopsShared bool
 	codeEnd    uint32 // highest loaded word + 1, for diagnostics
 
+	// xl, when non-nil, is the basic-block superinstruction translator
+	// (translate.go): hot straight-line runs between control transfers
+	// execute as fused blocks with one horizon check per block. Only the
+	// event-horizon fast loop dispatches blocks — the checked Step path
+	// never does — and the block cache is derived state, invalidated on
+	// the same paths as the micro-op cache. Nil disables translation.
+	xl *translator
+
 	// meter, when non-nil, is the energy charge ledger (internal/energy).
 	// Nil-disabled like rec and the profiler hooks, and fed only at device
 	// power-state transitions (writeIO span starts, prescaler changes,
@@ -172,7 +180,11 @@ type Machine struct {
 
 // New returns a reset machine with empty flash.
 func New() *Machine {
-	m := &Machine{flash: new([FlashWords]uint16), uops: new([FlashWords]uop)}
+	m := &Machine{
+		flash: new([FlashWords]uint16),
+		uops:  new([FlashWords]uop),
+		xl:    newTranslator(DefaultTranslationThreshold),
+	}
 	m.Reset()
 	return m
 }
@@ -214,6 +226,12 @@ func (m *Machine) AdoptImage(parent *Machine) {
 	m.codeEnd = parent.codeEnd
 	m.flashShared, m.uopsShared = true, true
 	parent.flashShared, parent.uopsShared = true, true
+	// Translated blocks fuse decoded flash contents; any the adopter built
+	// against its previous image are stale now. The parent's blocks stay:
+	// its image is unchanged (and the translator is never shared).
+	if m.xl != nil {
+		m.xl.reset()
+	}
 }
 
 // SetCheckpoint arms (or, with nil fn, disarms) the checkpoint hook: fn runs
@@ -262,6 +280,12 @@ func (m *Machine) LoadFlash(base uint32, words []uint16) error {
 	if base > 0 {
 		m.uops[base-1] = uop{}
 	}
+	// Translated blocks fuse decoded words the same way; kill every block
+	// overlapping the patched range (a block's [leader, end) span covers
+	// operand words, so the base-1 case above is covered by overlap).
+	if m.xl != nil {
+		m.xl.invalidate(base, base+uint32(len(words)))
+	}
 	if end := base + uint32(len(words)); end > m.codeEnd {
 		m.codeEnd = end
 	}
@@ -276,6 +300,10 @@ func (m *Machine) FlashWord(addr uint32) uint16 { return m.flash[addr&(FlashWord
 // decodes as KTRAP (the micro-op cache is flushed to apply the change).
 func (m *Machine) SetTrapHandler(h TrapHandler) {
 	m.trap = h
+	if m.xl != nil {
+		// Blocks fused under the old KTRAP decode rule are stale.
+		m.xl.reset()
+	}
 	if m.uopsShared {
 		// The flush would clobber the other sharer's cache; allocate a
 		// fresh zeroed array instead of copying one we are about to clear.
@@ -560,6 +588,24 @@ func (m *Machine) RunUntil(limit uint64) error {
 			m.syncDevices()
 			continue
 		}
+		// Horizon entry is a block-leader point (trap return, post-sleep,
+		// post-interrupt resume): give the translator a chance to dispatch
+		// fused blocks before the per-op loop. The inline idx probe skips
+		// the call for leaders already proven untranslatable (syscall
+		// wrappers starting at a KTRAP, lone branches) — common landing
+		// points that would otherwise pay a function call per visit.
+		// runTranslated only runs a block whose worst case fits strictly
+		// inside the horizon and cycle budget, so afterwards the clock is
+		// still short of both; the re-check is defensive.
+		if m.xl != nil && m.xl.idx[m.pc&(FlashWords-1)] != xlDead {
+			halt, err := m.runTranslated(limit)
+			if err != nil {
+				return err
+			}
+			if halt || m.cycle >= m.dev.nextEvent || (limit != 0 && m.cycle >= limit) {
+				continue
+			}
+		}
 		// Fast loop. Within the horizon nothing can set pending (syncDevices
 		// only runs once cycle reaches nextEvent, and I/O side effects that
 		// reschedule events re-check through dev.nextEvent below), so no
@@ -615,6 +661,19 @@ func (m *Machine) RunUntil(limit uint64) error {
 			}
 			if u.checked || m.cycle >= m.dev.nextEvent || (limit != 0 && m.cycle >= limit) {
 				break
+			}
+			// The PC after a control transfer is a basic-block leader;
+			// dispatch translated blocks (counting the landing) before
+			// falling back to per-op execution. The inline idx probe skips
+			// the call when the landing is already known untranslatable.
+			if u.ctl && m.xl != nil && m.xl.idx[m.pc&(FlashWords-1)] != xlDead {
+				halt, err := m.runTranslated(limit)
+				if err != nil {
+					return err
+				}
+				if halt || m.cycle >= m.dev.nextEvent || (limit != 0 && m.cycle >= limit) {
+					break
+				}
 			}
 		}
 	}

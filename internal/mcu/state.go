@@ -186,6 +186,13 @@ func (m *Machine) RestoreState(st *MachineState) error {
 		m.sampleNext = st.SampleNext
 	}
 	m.codeEnd = st.CodeEnd
+	// The block cache is derived state, like the micro-op cache: the restore
+	// target may have been running unrelated code (its flash merely hashes
+	// equal now), so drop every translated block and landing counter rather
+	// than trust them. They rebuild from scratch, exactly as uops refetch.
+	if m.xl != nil {
+		m.xl.reset()
+	}
 	m.dev = devices{
 		nextEvent:      st.Dev.NextEvent,
 		t0BaseCycle:    st.Dev.T0BaseCycle,
