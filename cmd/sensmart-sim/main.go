@@ -10,7 +10,13 @@
 //	             [-inject KIND:PARAMS@CYCLE]...
 //	             [-checkpoint-at CYCLE -checkpoint out.ssnp] [-restore in.ssnp]
 //	             [-serve :8080] [-telemetry out.ndjson] [-sample N]
+//	             [-debug -at CYCLE... [-dump SECTIONS] [-ring N] [-ring-every N]]
 //	             file.{s,json}...
+//
+// -debug records the run under a time-travel checkpoint ring and then seeks
+// to each -at cycle, printing the -dump sections (regs, stack, tasks, energy,
+// events, mem:ADDR+LEN) at the landed state; -inject composes with it, so a
+// faulty run can be replayed to any cycle and inspected.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/avr/asm"
@@ -62,6 +69,8 @@ type simFlags struct {
 	checkpoint bool            // -checkpoint FILE
 	restore    bool            // -restore FILE
 	inject     bool            // at least one -inject
+	debug      bool            // -debug
+	atCount    int             // number of -at seeks
 	set        map[string]bool // flags the user passed explicitly
 }
 
@@ -106,6 +115,32 @@ func validateFlags(f simFlags) error {
 	if f.set["sample"] && !f.serve && !f.telemetry {
 		return errors.New("-sample tunes the telemetry sampler; add -serve or -telemetry")
 	}
+	if f.debug {
+		if f.native {
+			return errors.New("-debug replays under the kernel; drop -native")
+		}
+		if f.trace || f.metrics || f.stats || f.energy {
+			return errors.New("-debug owns its observers (a tracer and an energy meter are always attached); drop -trace/-metrics/-stats/-energy and use -dump")
+		}
+		if f.profiling {
+			return errors.New("-profile/-folded/-stackrec/-watch record one forward run; -debug replays many — drop one side")
+		}
+		if f.serve || f.telemetry {
+			return errors.New("-serve/-telemetry stream a live run; -debug inspects a finished one — drop one side")
+		}
+		if f.checkpoint || f.restore || f.set["checkpoint-at"] {
+			return errors.New("-debug manages its own checkpoint ring; drop -checkpoint/-checkpoint-at/-restore")
+		}
+		if f.atCount == 0 {
+			return errors.New("-debug needs at least one -at CYCLE to seek to")
+		}
+	} else {
+		for _, name := range []string{"at", "dump", "ring", "ring-every"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s is a -debug flag; add -debug", name)
+			}
+		}
+	}
 	return nil
 }
 
@@ -137,6 +172,19 @@ func run(args []string) error {
 			return err
 		}
 		watches = append(watches, wp)
+		return nil
+	})
+	debug := fs.Bool("debug", false, "record the run under a time-travel checkpoint ring, then seek to each -at cycle and print the -dump sections")
+	ringN := fs.Int("ring", 8, "checkpoint ring capacity (with -debug)")
+	ringEvery := fs.Uint64("ring-every", 1<<20, "nominal cycles between ring checkpoints (with -debug)")
+	dumpStr := fs.String("dump", "regs,stack", "comma-separated sections to print at each -at cycle: regs, stack, tasks, energy, events, mem:ADDR+LEN (with -debug)")
+	var ats []uint64
+	fs.Func("at", "seek to this cycle and dump state (repeatable, with -debug)", func(s string) error {
+		v, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad -at cycle %q: %v", s, err)
+		}
+		ats = append(ats, v)
 		return nil
 	})
 	var injections []faultinject.Injection
@@ -171,6 +219,8 @@ func run(args []string) error {
 		checkpoint: *checkpointOut != "",
 		restore:    *restoreIn != "",
 		inject:     len(injections) > 0,
+		debug:      *debug,
+		atCount:    len(ats),
 		set:        set,
 	}
 	if err := validateFlags(sf); err != nil {
@@ -183,6 +233,14 @@ func run(args []string) error {
 			return err
 		}
 		programs = append(programs, p)
+	}
+
+	if *debug {
+		dumps, err := parseDump(*dumpStr)
+		if err != nil {
+			return err
+		}
+		return runDebug(programs, *copies, *cycles, injections, *ringN, *ringEvery, ats, dumps)
 	}
 
 	if *native {

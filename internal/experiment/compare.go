@@ -83,6 +83,29 @@ func loadBenchFile(path string) (*benchFile, error) {
 	return f, nil
 }
 
+// forensicCoverage counts the trials owing a forensic report (non-contained
+// verdicts) and how many actually carry one.
+func forensicCoverage(r faultinject.Report) (got, owed int) {
+	for _, tr := range r.Trials {
+		if !faultinject.NeedsForensic(tr.Verdict) {
+			continue
+		}
+		owed++
+		if tr.Forensic != nil {
+			got++
+		}
+	}
+	return got, owed
+}
+
+// ratio is got/owed, 0 when nothing is owed.
+func ratio(got, owed int) float64 {
+	if owed == 0 {
+		return 0
+	}
+	return float64(got) / float64(owed)
+}
+
 // b2f encodes a pass/fail flag as 0/1 for direction-aware comparison.
 func b2f(b bool) float64 {
 	if b {
@@ -269,6 +292,18 @@ func CompareBenchFiles(oldPath, newPath string, tolerancePct float64) (*Table, [
 					v == faultinject.VerdictContainedRecovered
 				rows = append(rows, compareRow{nb.Benchmark, v, "trials",
 					float64(ob.Verdicts[v]), float64(nb.Verdicts[v]), higherBetter})
+			}
+			// Forensic coverage: every non-contained trial that fired owes a
+			// forensic report. The ratio is 1.0 when coverage is complete, so
+			// a drop flags lost observability without penalizing runs whose
+			// containment improved (fewer escapes shrink both sides). Files
+			// written before forensics existed have old coverage 0, which
+			// verdict() renders as n/a instead of a regression.
+			oGot, oOwed := forensicCoverage(ob)
+			nGot, nOwed := forensicCoverage(nb)
+			if oOwed > 0 || nOwed > 0 {
+				rows = append(rows, compareRow{nb.Benchmark, "forensic_coverage", "ratio",
+					ratio(oGot, oOwed), ratio(nGot, nOwed), true})
 			}
 		}
 		for name := range byName {

@@ -100,4 +100,26 @@ func TestCompareFaultCampaignFiles(t *testing.T) {
 	if len(tbl.Rows) == 0 {
 		t.Fatal("comparator produced no rows for faultcampaign files")
 	}
+	// Every non-contained trial carries its forensic report, so whenever a
+	// benchmark owes any, the comparator must emit a forensic_coverage row
+	// and identical files must diff it clean at full coverage.
+	owed := 0
+	for _, rep := range b.Benchmarks {
+		_, o := forensicCoverage(rep)
+		owed += o
+	}
+	covRows := 0
+	for _, row := range tbl.Rows {
+		if row[1] != "forensic_coverage" {
+			continue
+		}
+		covRows++
+		if row[3] != "1.00 ratio" || row[5] != "ok" {
+			t.Errorf("forensic_coverage row for %s: new=%q verdict=%q, want full coverage diffing clean",
+				row[0], row[3], row[5])
+		}
+	}
+	if owed > 0 && covRows == 0 {
+		t.Errorf("%d trials owe forensic reports but no forensic_coverage row was emitted", owed)
+	}
 }

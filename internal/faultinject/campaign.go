@@ -9,6 +9,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/progs"
 	"repro/internal/rewriter"
+	"repro/internal/trace"
 )
 
 // Containment verdicts, ordered most-severe-first — classify reports the
@@ -52,13 +53,15 @@ type Spec struct {
 	Trials int
 }
 
-// Trial records one injection and its verdict.
+// Trial records one injection and its verdict. Non-contained verdicts carry
+// a forensic report reconstructing how the payload escaped.
 type Trial struct {
-	Trial   int    `json:"trial"`
-	Kind    string `json:"kind"`
-	Site    string `json:"site"`
-	Verdict string `json:"verdict"`
-	Detail  string `json:"detail,omitempty"`
+	Trial    int       `json:"trial"`
+	Kind     string    `json:"kind"`
+	Site     string    `json:"site"`
+	Verdict  string    `json:"verdict"`
+	Detail   string    `json:"detail,omitempty"`
+	Forensic *Forensic `json:"forensics,omitempty"`
 }
 
 // Report aggregates one benchmark's trials.
@@ -100,6 +103,9 @@ type outcome struct {
 	// comparable across runs regardless of when each one stopped.
 	sentinelHeap []byte
 	runErr       error
+	// firedAt is the boundary clock the armed injection actually fired at
+	// (0 = never fired) — the anchor forensic replays lockstep from.
+	firedAt uint64
 }
 
 // snapshotHeap copies a task's live heap bytes [pl, ph).
@@ -122,13 +128,14 @@ func flattenRadio(frames []mcu.RadioFrame) []byte {
 	return out
 }
 
-// runOnce boots victim+sentinel, lets arm plant an injection, and runs to
-// the victim's termination or the cycle limit. Setup failures are engine
-// errors; a failing kernel run lands in outcome.runErr for classification.
-func runOnce(victimName string, victimNat, sentinelNat *rewriter.Naturalized, limit uint64,
-	arm func(o *outcome)) (*outcome, error) {
+// setupOnce boots victim+sentinel and lets arm plant an injection, stopping
+// short of the run itself — forensic replays drive the kernel boundary by
+// boundary instead of to completion. rec, when non-nil, attaches a trace
+// recorder for the replay that reconstructs the event tail.
+func setupOnce(victimName string, victimNat, sentinelNat *rewriter.Naturalized,
+	arm func(o *outcome), rec *trace.Recorder) (*outcome, error) {
 	o := &outcome{m: mcu.New()}
-	cfg := kernel.Config{OnTaskExit: func(k *kernel.Kernel, t *kernel.Task) {
+	cfg := kernel.Config{Trace: rec, OnTaskExit: func(k *kernel.Kernel, t *kernel.Task) {
 		if t != o.victim || o.victimDone {
 			return
 		}
@@ -152,6 +159,18 @@ func runOnce(victimName string, victimNat, sentinelNat *rewriter.Naturalized, li
 	}
 	if arm != nil {
 		arm(o)
+	}
+	return o, nil
+}
+
+// runOnce boots victim+sentinel, lets arm plant an injection, and runs to
+// the victim's termination or the cycle limit. Setup failures are engine
+// errors; a failing kernel run lands in outcome.runErr for classification.
+func runOnce(victimName string, victimNat, sentinelNat *rewriter.Naturalized, limit uint64,
+	arm func(o *outcome)) (*outcome, error) {
+	o, err := setupOnce(victimName, victimNat, sentinelNat, arm, nil)
+	if err != nil {
+		return nil, err
 	}
 	o.runErr = o.k.Run(limit)
 	if o.sentinel.State() != kernel.TaskTerminated {
@@ -225,6 +244,7 @@ func armPlan(o *outcome, p plan) *string {
 		in.Apply(m)
 		in.At = m.Cycles() // stamp the actual fire cycle into the site report
 		site = in.String()
+		o.firedAt = in.At
 	}
 	switch p.kind {
 	case KindSRAMFlip, KindSRAMBurst:
@@ -370,9 +390,15 @@ func RunBenchmark(b Benchmark, spec Spec, benchIdx int) (Report, error) {
 		}
 		verdict, detail := classify(golden, trial)
 		rep.Verdicts[verdict]++
+		var forensic *Forensic
+		if NeedsForensic(verdict) && trial.firedAt > 0 {
+			if forensic, err = forensicReplay(b.Name, victimNat, sentinelNat, limit, p, trial.firedAt); err != nil {
+				return Report{}, err
+			}
+		}
 		rep.Trials = append(rep.Trials, Trial{
 			Trial: i, Kind: p.kind.String(), Site: *site,
-			Verdict: verdict, Detail: detail,
+			Verdict: verdict, Detail: detail, Forensic: forensic,
 		})
 	}
 	return rep, nil

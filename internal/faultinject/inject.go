@@ -178,7 +178,7 @@ func (in Injection) String() string {
 //
 //	sram:ADDR[:BIT]@CYCLE       flip BIT (default 0) of data byte ADDR
 //	burst:ADDR:LEN[:BIT]@CYCLE  flip BIT in LEN consecutive bytes at ADDR
-//	reg:rN[:BIT]@CYCLE          flip BIT of register N
+//	reg:rN[:BIT]@CYCLE          flip BIT of register N (r prefix required, N decimal)
 //	smash:LEN:VALUE@CYCLE       write LEN copies of VALUE above the live SP
 //	retaddr:TARGET@CYCLE        point the return address at flash word TARGET
 //	radio:HEXBYTES@CYCLE        deliver the hex-decoded payload on the radio
@@ -245,9 +245,9 @@ func ParseInject(s string) (Injection, error) {
 		if len(parts) < 2 || len(parts) > 3 {
 			return fail("want reg:rN[:BIT]@CYCLE")
 		}
-		rs := strings.TrimPrefix(parts[1], "r")
-		r, err := strconv.ParseUint(rs, 0, 8)
-		if err != nil || r > 31 {
+		rs, hasPrefix := strings.CutPrefix(parts[1], "r")
+		r, err := strconv.ParseUint(rs, 10, 8)
+		if !hasPrefix || err != nil || r > 31 {
 			return fail("bad register (want r0..r31)")
 		}
 		in.Kind, in.Reg = KindRegFlip, uint8(r)

@@ -66,6 +66,26 @@ func TestParseInjectErrors(t *testing.T) {
 		"radio:abc@5",           // odd-length hex
 		"laser:0x10@5",          // unknown kind
 		"sram:0x10@not-a-cycle", // bad cycle
+		// Strictness pins: no trailing garbage, signs, or lax field forms
+		// may slip through anywhere in the spec or after @CYCLE.
+		"sram:0x10:1@5@6",    // second @: trailing garbage after the cycle
+		"sram:0x10:1@5 ",     // trailing whitespace after the cycle
+		"sram:0x10:1@5junk",  // trailing letters fused to the cycle
+		"sram:0x10:1@+5",     // signed cycle
+		"sram:0x10:1@-5",     // negative cycle
+		"sram:0x10:1@",       // empty cycle
+		"sram:+0x10:1@5",     // signed address
+		"sram:0x10:1:@5",     // trailing empty field in the spec
+		"reg:5@5",            // register without the required r prefix
+		"reg:r0x11@5",        // register index must be decimal
+		"reg:rr4@5",          // doubled prefix
+		"reg:r@5",            // prefix without an index
+		"radio:a1b2@",        // empty cycle on the payload form
+		"radio:a1 b2@5",      // whitespace inside the hex payload
+		"smash:4:0x1FF@5",    // smash value wider than a byte
+		"burst:0x10:300:1@5", // burst length wider than a byte
+		"@5",                 // empty spec
+		"sram:0x10:1",        // missing @CYCLE entirely
 	}
 	for _, s := range bad {
 		if in, err := ParseInject(s); err == nil {

@@ -273,16 +273,10 @@ func (k *Kernel) Symbolizer() *profile.Symbolizer { return k.sym }
 // physical SRAM address; addresses outside the task's region (or with no
 // running task) pass through unchanged.
 func (k *Kernel) physToLogical(phys uint16) uint16 {
-	t := k.Current()
-	if t == nil {
-		return phys
-	}
-	if phys >= t.pl && phys < t.ph {
-		return 0x100 + (phys - t.pl)
-	}
-	if phys >= t.ph && phys < t.pu {
-		stackSize := t.pu - t.ph
-		return phys - t.ph + (logicalSPBase - stackSize)
+	if t := k.Current(); t != nil {
+		if l, ok := t.LogicalAddr(phys); ok {
+			return l
+		}
 	}
 	return phys
 }

@@ -128,6 +128,26 @@ func (t *Task) logicalSP() uint16 {
 	return uint16(int(t.spPhys) + logicalSPBase - int(t.pu))
 }
 
+// LogicalSP returns the task's logical stack pointer — the SP value the
+// application itself sees, per the paper's translation formulas.
+func (t *Task) LogicalSP() uint16 { return t.logicalSP() }
+
+// LogicalAddr translates a physical SRAM address inside the task's region to
+// the logical address the application sees; ok is false for addresses outside
+// the region (kernel-owned, I/O space, or another task's memory), which pass
+// through unchanged. This is the per-task form of the kernel's watchpoint
+// translation, exported so debuggers can decode any task's memory, not just
+// the running one's.
+func (t *Task) LogicalAddr(phys uint16) (logical uint16, ok bool) {
+	switch {
+	case phys >= t.pl && phys < t.ph:
+		return 0x100 + (phys - t.pl), true
+	case phys >= t.ph && phys < t.pu:
+		return phys - t.ph + (logicalSPBase - (t.pu - t.ph)), true
+	}
+	return phys, false
+}
+
 // physSPFromLogical converts a logical SP back to physical.
 func (t *Task) physSPFromLogical(l uint16) uint16 {
 	return uint16(int(l) - logicalSPBase + int(t.pu))

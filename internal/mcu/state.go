@@ -18,6 +18,13 @@ var (
 	// ErrImageMismatch: the restore target's flash contents differ from the
 	// image the snapshot was taken against.
 	ErrImageMismatch = errors.New("mcu: flash image differs from snapshot's")
+	// ErrSnapshotDataSize: the snapshot's data segment is not DataSize bytes,
+	// so it was taken against a different memory geometry (or truncated).
+	ErrSnapshotDataSize = errors.New("mcu: snapshot data segment size mismatch")
+	// ErrSamplerMismatch: the restore target's telemetry sampling interval
+	// differs from the snapshot's, so the restored sample schedule would not
+	// reproduce the source run's boundaries.
+	ErrSamplerMismatch = errors.New("mcu: telemetry interval differs from snapshot's")
 )
 
 // DeviceState is the serializable peripheral state of a Machine.
@@ -158,14 +165,14 @@ func (m *Machine) CaptureState() (*MachineState, error) {
 // snapshot's.
 func (m *Machine) RestoreState(st *MachineState) error {
 	if len(st.Data) != DataSize {
-		return fmt.Errorf("mcu: snapshot data segment is %d bytes, want %d", len(st.Data), DataSize)
+		return fmt.Errorf("%w: %d bytes, want %d", ErrSnapshotDataSize, len(st.Data), DataSize)
 	}
 	if st.FlashHash != m.flashHash() {
 		return ErrImageMismatch
 	}
 	if m.sampleFn != nil && m.sampleEvery != st.SampleEvery {
-		return fmt.Errorf("mcu: telemetry interval %d differs from snapshot's %d",
-			m.sampleEvery, st.SampleEvery)
+		return fmt.Errorf("%w: target %d, snapshot %d",
+			ErrSamplerMismatch, m.sampleEvery, st.SampleEvery)
 	}
 	copy(m.data[:], st.Data)
 	m.pc = st.PC & (FlashWords - 1)

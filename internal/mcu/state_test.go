@@ -203,14 +203,14 @@ func TestRestoreRejectsBadGeometry(t *testing.T) {
 
 	trunc := *st
 	trunc.Data = st.Data[:100]
-	if err := load(t, stateWorkSrc).RestoreState(&trunc); err == nil {
-		t.Error("restore accepted a truncated data segment")
+	if err := load(t, stateWorkSrc).RestoreState(&trunc); !errors.Is(err, ErrSnapshotDataSize) {
+		t.Errorf("restore of truncated data segment: %v, want ErrSnapshotDataSize", err)
 	}
 
 	sampled := load(t, stateWorkSrc)
 	sampled.SetSampler(4096, func(uint64) {})
-	if err := sampled.RestoreState(st); err == nil {
-		t.Error("restore accepted a snapshot with a different sampler interval")
+	if err := sampled.RestoreState(st); !errors.Is(err, ErrSamplerMismatch) {
+		t.Errorf("restore with different sampler interval: %v, want ErrSamplerMismatch", err)
 	}
 }
 
